@@ -1,0 +1,158 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these benches justify the
+implementation decisions the paper leaves implicit:
+
+* presence filtering (Algorithm 2 lines 1-4) on sparse binary data;
+* online vs batch cluster-reference updates;
+* precomputed (grouped) neighbour lists vs on-the-fly bucket unions;
+* the (b, r) sweep behind §III-D's parameter guidance.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_dataset, write_result
+from repro.core.mh_kmodes import MHKModes
+from repro.experiments.report import format_table
+from repro.metrics.purity import cluster_purity
+
+
+K_FIG9 = 300
+
+
+def _fit(**kwargs):
+    dataset = get_dataset("fig9")
+    defaults = dict(
+        n_clusters=K_FIG9, bands=10, rows=1, max_iter=6, seed=0, absent_code=0
+    )
+    defaults.update(kwargs)
+    model = MHKModes(**defaults)
+    model.fit(dataset.X)
+    return model, dataset
+
+
+class TestPresenceFiltering:
+    def test_filtering_improves_shortlist_quality(self, benchmark):
+        """Without the absent-value filter, shared absences flood MinHash."""
+        filtered, dataset = benchmark.pedantic(_fit, rounds=1, iterations=1)
+        unfiltered = MHKModes(
+            n_clusters=K_FIG9, bands=10, rows=1, max_iter=6, seed=0, absent_code=None
+        ).fit(dataset.X)
+        filtered_purity = cluster_purity(filtered.labels_, dataset.labels)
+        unfiltered_purity = cluster_purity(unfiltered.labels_, dataset.labels)
+        # Unfiltered hashing sees mostly 'word absent' tokens shared by
+        # everyone: shortlists balloon and/or quality degrades.
+        unfiltered_shortlist = np.nanmean(unfiltered.stats_.shortlist_sizes)
+        filtered_shortlist = np.nanmean(filtered.stats_.shortlist_sizes)
+        assert (
+            filtered_purity >= unfiltered_purity - 0.02
+            and filtered_shortlist <= unfiltered_shortlist * 2
+        )
+        write_result(
+            "ablation_presence_filtering",
+            "Ablation — presence filtering (Algorithm 2 lines 1-4)\n"
+            + format_table(
+                ["variant", "purity", "mean shortlist"],
+                [
+                    ["filtered (paper)", f"{filtered_purity:.3f}", f"{filtered_shortlist:.1f}"],
+                    ["unfiltered", f"{unfiltered_purity:.3f}", f"{unfiltered_shortlist:.1f}"],
+                ],
+            ),
+        )
+
+
+class TestUpdateRefs:
+    def test_online_vs_batch(self, benchmark):
+        """The paper's online reference updates vs end-of-pass updates."""
+        online, dataset = benchmark.pedantic(
+            _fit, kwargs={"update_refs": "online"}, rounds=1, iterations=1
+        )
+        batch, _ = _fit(update_refs="batch")
+        online_purity = cluster_purity(online.labels_, dataset.labels)
+        batch_purity = cluster_purity(batch.labels_, dataset.labels)
+        # Both modes must land in the same quality regime; online (the
+        # paper's choice) must not be worse.
+        assert online_purity >= batch_purity - 0.03
+        write_result(
+            "ablation_update_refs",
+            "Ablation — online (paper) vs batch cluster-reference updates\n"
+            + format_table(
+                ["mode", "purity", "iterations", "total_s"],
+                [
+                    ["online", f"{online_purity:.3f}", online.n_iter_,
+                     f"{online.stats_.total_time_s:.2f}"],
+                    ["batch", f"{batch_purity:.3f}", batch.n_iter_,
+                     f"{batch.stats_.total_time_s:.2f}"],
+                ],
+            ),
+        )
+
+
+class TestNeighbourPrecompute:
+    def test_precompute_pays_off_per_iteration(self, benchmark):
+        """Grouped neighbour lists trade setup time for iteration time."""
+        with_pre, dataset = benchmark.pedantic(
+            _fit, kwargs={"precompute_neighbours": True}, rounds=1, iterations=1
+        )
+        without = MHKModes(
+            n_clusters=K_FIG9, bands=10, rows=1, max_iter=6, seed=0,
+            absent_code=0, precompute_neighbours=False,
+        ).fit(dataset.X)
+        # Identical clustering either way (it is a pure execution detail) —
+        assert np.array_equal(with_pre.labels_, without.labels_)
+        # — but iterations are cheaper with the precomputed lists.
+        assert (
+            with_pre.stats_.mean_iteration_s
+            <= without.stats_.mean_iteration_s * 1.1
+        )
+        write_result(
+            "ablation_neighbour_precompute",
+            "Ablation — grouped neighbour precompute vs on-the-fly unions\n"
+            + format_table(
+                ["variant", "setup_s", "mean iter_s"],
+                [
+                    ["precomputed", f"{with_pre.stats_.setup_s:.3f}",
+                     f"{with_pre.stats_.mean_iteration_s:.3f}"],
+                    ["on-the-fly", f"{without.stats_.setup_s:.3f}",
+                     f"{without.stats_.mean_iteration_s:.3f}"],
+                ],
+            ),
+        )
+
+
+class TestBandRowSweep:
+    def test_sweep_matches_section_3d_guidance(self, benchmark):
+        """More bands → bigger shortlists; more rows → smaller ones."""
+        dataset = get_dataset("fig2")
+
+        def run(bands, rows):
+            return MHKModes(
+                n_clusters=800, bands=bands, rows=rows, max_iter=4, seed=0
+            ).fit(dataset.X)
+
+        models = benchmark.pedantic(
+            lambda: {
+                (b, r): run(b, r) for b, r in ((5, 2), (20, 2), (50, 2), (20, 5))
+            },
+            rounds=1,
+            iterations=1,
+        )
+        shortlist = {
+            key: float(np.nanmean(m.stats_.shortlist_sizes))
+            for key, m in models.items()
+        }
+        # Bands grow the shortlist at fixed rows...
+        assert shortlist[(5, 2)] <= shortlist[(20, 2)] <= shortlist[(50, 2)] + 0.5
+        # ...rows shrink it at fixed bands.
+        assert shortlist[(20, 5)] <= shortlist[(20, 2)]
+        rows_out = [
+            [f"{b}b {r}r", f"{shortlist[(b, r)]:.2f}",
+             f"{cluster_purity(models[(b, r)].labels_, dataset.labels):.3f}"]
+            for (b, r) in sorted(shortlist)
+        ]
+        write_result(
+            "ablation_band_row_sweep",
+            "Ablation — (bands, rows) sweep on the Figure 2 dataset\n"
+            + format_table(["config", "mean shortlist", "purity"], rows_out),
+        )

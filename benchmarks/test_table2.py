@@ -1,0 +1,50 @@
+"""Table II: candidate-pair and cluster-recall probabilities at r=5."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.parameters import probability_table
+from repro.experiments.report import render_probability_table
+
+#: Every row of the paper's Table II (all match the closed form).
+PAPER_ROWS = [
+    (10, 0.1, 0.0001, 0.001),
+    (10, 0.2, 0.003, 0.03),
+    (10, 0.5, 0.27, 0.96),
+    (10, 0.8, 0.98, 1.0),
+    (100, 0.1, 0.001, 0.01),
+    (100, 0.5, 0.95, 1.0),
+    (800, 0.1, 0.008, 0.08),
+    (800, 0.2, 0.23, 0.93),
+    (800, 0.3, 0.86, 1.0),
+]
+
+
+def build_table():
+    return probability_table(
+        rows=5,
+        band_choices=[10, 100, 800],
+        similarities=[0.1, 0.2, 0.3, 0.5, 0.8],
+        cluster_size=10,
+    )
+
+
+def test_table2(benchmark):
+    table = benchmark.pedantic(build_table, rounds=3, iterations=1)
+    by_key = {(int(e["bands"]), e["similarity"]): e for e in table}
+    for bands, similarity, pair, recall in PAPER_ROWS:
+        entry = by_key[(bands, similarity)]
+        assert entry["pair_probability"] == pytest.approx(pair, abs=0.02), (
+            bands,
+            similarity,
+        )
+        assert entry["mh_kmodes_probability"] == pytest.approx(recall, abs=0.03), (
+            bands,
+            similarity,
+        )
+    write_result(
+        "table2",
+        render_probability_table(
+            table, "Table II — r=5, assumed cluster size 10 (reproduced)"
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Reproduce a paper experiment with the built-in harness.
+
+Runs the (scaled) Figure 2 experiment — three MH-K-Modes
+configurations against exact K-Modes from identical initial centroids
+— and prints the same tables the paper plots: time per iteration,
+average shortlist size, moves per iteration, and the end-to-end
+summary with speedups and purity.
+
+The other experiments are one id away:
+``EXPERIMENTS['fig3' | 'fig4' | 'fig5' | 'fig5xl' | 'fig9' | 'fig10']``
+(or, from a shell: ``python -m repro compare fig3``).
+
+Run:  python examples/large_scale_comparison.py
+"""
+
+from repro.experiments import (
+    FIG2,
+    render_comparison_summary,
+    render_series_table,
+    run_synthetic_experiment,
+)
+
+
+def main() -> None:
+    print(FIG2.description)
+    print(
+        f"scaled workload: {FIG2.n_items} items x {FIG2.n_attributes} attrs, "
+        f"k={FIG2.n_clusters}\n"
+    )
+    result = run_synthetic_experiment(FIG2)
+
+    print(render_comparison_summary(result))
+    for fieldname in ("duration_s", "mean_shortlist", "moves"):
+        print()
+        print(render_series_table(result, fieldname))
+
+    best = min(
+        (label for label in result.results if label != "K-Modes"),
+        key=lambda label: result.results[label].total_time_s,
+    )
+    print(
+        f"\nbest MH configuration: {best} — "
+        f"{result.speedup(best):.2f}x end-to-end, "
+        f"{result.iteration_speedup(best):.2f}x per iteration"
+    )
+
+
+if __name__ == "__main__":
+    main()

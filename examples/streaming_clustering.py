@@ -1,0 +1,74 @@
+"""Streaming clustering — the paper's last Further Work item, running.
+
+Bootstraps MH-K-Modes on an initial batch, then absorbs the rest of
+the data one item at a time: each arrival is MinHashed into the live
+index, assigned through its candidate-cluster shortlist, and counted
+into incremental per-cluster statistics; modes refresh periodically
+without ever touching past items again.
+
+Compares three regimes on the same planted data:
+
+* batch MH-K-Modes over everything (the reference);
+* bootstrap 60 % + stream 40 %;
+* bootstrap 20 % + stream 80 % (mostly streamed).
+
+Run:  python examples/streaming_clustering.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import MHKModes, RuleBasedGenerator, StreamingMHKModes, cluster_purity
+
+
+def main() -> None:
+    k = 300
+    data = RuleBasedGenerator(
+        n_clusters=k, n_attributes=40, noise_rate=0.05, seed=21
+    ).generate(6_000)
+    print(f"dataset: {data.describe()}\n")
+
+    # Reference: batch clustering of the full dataset.
+    start = time.perf_counter()
+    batch = MHKModes(n_clusters=k, bands=20, rows=3, max_iter=15, seed=21)
+    batch.fit(data.X)
+    batch_time = time.perf_counter() - start
+    batch_purity = cluster_purity(batch.labels_, data.labels)
+    print(
+        f"batch MH-K-Modes          : {batch_time:6.2f}s  "
+        f"purity={batch_purity:.3f}"
+    )
+
+    for bootstrap_fraction in (0.6, 0.2):
+        split = int(len(data.X) * bootstrap_fraction)
+        stream = StreamingMHKModes(
+            n_clusters=k, bands=20, rows=3, seed=21, refresh_interval=250
+        )
+        start = time.perf_counter()
+        stream.bootstrap(data.X[:split])
+        bootstrap_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        streamed_labels = stream.extend(data.X[split:])
+        stream_time = time.perf_counter() - start
+
+        streamed_purity = cluster_purity(streamed_labels, data.labels[split:])
+        per_item_ms = 1000.0 * stream_time / (len(data.X) - split)
+        print(
+            f"bootstrap {bootstrap_fraction:.0%} + stream {1-bootstrap_fraction:.0%}: "
+            f"{bootstrap_time:6.2f}s + {stream_time:5.2f}s "
+            f"({per_item_ms:.2f} ms/item)  "
+            f"streamed-item purity={streamed_purity:.3f}  "
+            f"fallbacks={stream.n_fallbacks_}"
+        )
+
+    print(
+        "\nStreamed items join clusters at near-batch purity while each "
+        "arrival costs\nmilliseconds — no pass over historical data ever "
+        "recurs (the index absorbs\ninserts in O(bands))."
+    )
+
+
+if __name__ == "__main__":
+    main()

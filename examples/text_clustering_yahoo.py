@@ -1,0 +1,87 @@
+"""Text clustering — the paper's Yahoo! Answers scenario end to end.
+
+Builds a topic-tagged question corpus (a synthetic stand-in for the
+licence-gated Webscope data), runs the Section IV-B pipeline —
+per-topic TF-IDF vocabulary selection, binary word-presence encoding —
+and clusters the questions into topics with K-Modes and MH-K-Modes.
+
+Demonstrates the two pipeline knobs the paper studies:
+
+* the TF-IDF threshold (0.7 → few hundred attributes, 0.3 → thousands);
+* presence filtering (``absent_code=0``), without which MinHash would
+  hash mostly-shared "word absent" values.
+
+Run:  python examples/text_clustering_yahoo.py
+"""
+
+import numpy as np
+
+from repro import (
+    KModes,
+    MHKModes,
+    YahooAnswersSynthesizer,
+    cluster_purity,
+    corpus_to_dataset,
+)
+
+
+def run_threshold(corpus, threshold: float) -> None:
+    dataset = corpus_to_dataset(corpus, tfidf_threshold=threshold)
+    n_topics = corpus.n_topics
+    print(
+        f"\n--- TF-IDF threshold {threshold}: "
+        f"{dataset.n_items} questions x {dataset.n_attributes} word attributes"
+    )
+
+    rng = np.random.default_rng(1)
+    initial = dataset.X[rng.choice(dataset.n_items, n_topics, replace=False)]
+
+    exact = KModes(n_clusters=n_topics, max_iter=8, seed=1)
+    exact.fit(dataset.X, initial_modes=initial)
+
+    # 1 band x 1 row: the cheapest possible index — the configuration
+    # the paper found most efficient on this workload (Figure 10b).
+    fast = MHKModes(
+        n_clusters=n_topics, bands=1, rows=1, max_iter=8, seed=1, absent_code=0
+    )
+    fast.fit(dataset.X, initial_centroids=initial)
+
+    for model in (exact, fast):
+        stats = model.stats_
+        shortlist = (
+            f"{np.nanmean(stats.shortlist_sizes):7.1f}"
+            if stats.shortlist_sizes and not np.isnan(stats.shortlist_sizes[0])
+            else f"{n_topics:7d}"
+        )
+        print(
+            f"{stats.algorithm:20s} iters={model.n_iter_} "
+            f"total={stats.total_time_s:6.2f}s shortlist={shortlist} "
+            f"purity={cluster_purity(model.labels_, dataset.labels):.3f}"
+        )
+    print(
+        f"speedup: {exact.stats_.total_time_s / fast.stats_.total_time_s:.2f}x "
+        f"(purity is capped by the {corpus.label_noise_rate():.0%} label noise, "
+        "mirroring the paper's low absolute purity)"
+    )
+
+
+def main() -> None:
+    corpus = YahooAnswersSynthesizer(
+        n_topics=250,
+        label_noise=0.1,   # users pick the wrong fine-grained topic
+        keyword_bleed=0.05,  # related topics share keywords
+        seed=42,
+    ).generate(3_000)
+    print(
+        f"corpus: {corpus.n_questions} questions across {corpus.n_topics} topics, "
+        f"{corpus.label_noise_rate():.1%} mislabelled"
+    )
+    sample = " ".join(corpus.questions[0][:8])
+    print(f"sample question tokens: {sample} ...")
+
+    run_threshold(corpus, threshold=0.7)
+    run_threshold(corpus, threshold=0.3)
+
+
+if __name__ == "__main__":
+    main()

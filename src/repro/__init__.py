@@ -1,0 +1,113 @@
+"""repro — LSH-accelerated centroid-based clustering.
+
+A from-scratch, production-quality reproduction of
+
+    McConville, Cao, Liu & Miller,
+    "Accelerating Large Scale Centroid-based Clustering with Locality
+    Sensitive Hashing", ICDE 2016.
+
+The paper's idea: centroid algorithms spend their time comparing every
+item against every one of k centroids.  Index the *items* once with a
+banded LSH (MinHash for categorical data), let every indexed item carry
+a mutable reference to its current cluster, and each assignment step
+only needs exact distances against the small *shortlist* of clusters
+owned by an item's hash neighbours.
+
+Quick start::
+
+    import numpy as np
+    from repro import MHKModes, KModes, RuleBasedGenerator, cluster_purity
+
+    data = RuleBasedGenerator(n_clusters=500, n_attributes=60, seed=0).generate(5_000)
+    fast = MHKModes(n_clusters=500, bands=20, rows=5, seed=0).fit(data.X)
+    exact = KModes(n_clusters=500, seed=0).fit(data.X)
+    print(cluster_purity(fast.labels_, data.labels),
+          cluster_purity(exact.labels_, data.labels))
+
+Package map — each subpackage is documented in its own ``__init__``:
+
+* :mod:`repro.core` — MH-K-Modes and the generic acceleration framework
+* :mod:`repro.kmodes` — exhaustive K-Modes baseline
+* :mod:`repro.kmeans` — K-Means / mini-batch / LSH-K-Means (numeric extension)
+* :mod:`repro.lsh` — MinHash, banding, the clustered index, SimHash, p-stable
+* :mod:`repro.data` — datgen clone, Yahoo-like corpus, TF-IDF pipeline, I/O
+* :mod:`repro.metrics` — purity, NMI, ARI, Jaccard
+* :mod:`repro.experiments` — configs/runner/reports for every paper figure
+* :mod:`repro.instrumentation` — per-iteration statistics
+"""
+
+from repro.core import (
+    MHKModes,
+    StreamingMHKModes,
+    candidate_pair_probability,
+    cluster_recall_probability,
+    error_bound,
+    suggest_bands_rows,
+)
+from repro.data import (
+    CategoricalDataset,
+    CategoricalEncoder,
+    QuestionCorpus,
+    RuleBasedGenerator,
+    YahooAnswersSynthesizer,
+    corpus_to_dataset,
+)
+from repro.exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DataValidationError,
+    EmptyClusterError,
+    NotFittedError,
+    ReproError,
+)
+from repro.kmeans import KMeans, LSHKMeans, MiniBatchKMeans
+from repro.kmodes import FuzzyKModes, KModes
+from repro.lsh import ClusteredLSHIndex, MinHasher, TokenSets
+from repro.metrics import (
+    adjusted_rand_index,
+    cluster_purity,
+    jaccard_similarity,
+    normalized_mutual_information,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "MHKModes",
+    "error_bound",
+    "candidate_pair_probability",
+    "cluster_recall_probability",
+    "suggest_bands_rows",
+    # baselines and extensions
+    "KModes",
+    "FuzzyKModes",
+    "KMeans",
+    "MiniBatchKMeans",
+    "LSHKMeans",
+    "StreamingMHKModes",
+    # lsh
+    "MinHasher",
+    "TokenSets",
+    "ClusteredLSHIndex",
+    # data
+    "CategoricalDataset",
+    "RuleBasedGenerator",
+    "YahooAnswersSynthesizer",
+    "QuestionCorpus",
+    "corpus_to_dataset",
+    "CategoricalEncoder",
+    # metrics
+    "cluster_purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "jaccard_similarity",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "DataValidationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "EmptyClusterError",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands mirror the library's workflow:
+
+* ``generate`` — materialise a synthetic dataset (datgen-style or
+  Yahoo-style) to disk;
+* ``cluster`` — run K-Modes or MH-K-Modes on a saved dataset and
+  print the per-iteration statistics;
+* ``compare`` — run a named paper experiment (fig2 … fig10) and print
+  the paper-style tables;
+* ``tables`` — print the analytic Tables I and II.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "LSH-accelerated centroid-based clustering "
+            "(reproduction of McConville et al., ICDE 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("output", help="output .npz path")
+    gen.add_argument("--kind", choices=["datgen", "yahoo"], default="datgen")
+    gen.add_argument("--items", type=int, default=5_000)
+    gen.add_argument("--clusters", type=int, default=500)
+    gen.add_argument("--attributes", type=int, default=60)
+    gen.add_argument("--domain-size", type=int, default=40_000)
+    gen.add_argument("--noise-rate", type=float, default=0.0)
+    gen.add_argument("--tfidf-threshold", type=float, default=0.3)
+    gen.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("cluster", help="cluster a saved dataset")
+    run.add_argument("dataset", help="input .npz path")
+    run.add_argument("--algorithm", choices=["kmodes", "mh-kmodes"], default="mh-kmodes")
+    run.add_argument("--clusters", type=int, required=True)
+    run.add_argument("--bands", type=int, default=20)
+    run.add_argument("--rows", type=int, default=5)
+    run.add_argument("--max-iter", type=int, default=100)
+    run.add_argument("--absent-code", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+
+    cmp_ = sub.add_parser("compare", help="run a paper experiment")
+    cmp_.add_argument(
+        "experiment",
+        help="experiment id: fig2, fig3, fig4, fig5, fig5xl, fig9, fig10",
+    )
+
+    sub.add_parser("tables", help="print the paper's Tables I and II")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data import (
+        RuleBasedGenerator,
+        YahooAnswersSynthesizer,
+        corpus_to_dataset,
+        save_dataset,
+    )
+
+    if args.kind == "datgen":
+        dataset = RuleBasedGenerator(
+            n_clusters=args.clusters,
+            n_attributes=args.attributes,
+            domain_size=args.domain_size,
+            noise_rate=args.noise_rate,
+            seed=args.seed,
+        ).generate(args.items)
+    else:
+        corpus = YahooAnswersSynthesizer(
+            n_topics=args.clusters, seed=args.seed
+        ).generate(args.items)
+        dataset = corpus_to_dataset(corpus, tfidf_threshold=args.tfidf_threshold)
+    path = save_dataset(dataset, args.output)
+    print(f"wrote {dataset.describe()} to {path}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.core import MHKModes
+    from repro.data import load_dataset
+    from repro.kmodes import KModes
+    from repro.metrics import cluster_purity
+
+    dataset = load_dataset(args.dataset)
+    if args.algorithm == "kmodes":
+        model: KModes | MHKModes = KModes(
+            n_clusters=args.clusters, max_iter=args.max_iter, seed=args.seed
+        )
+    else:
+        model = MHKModes(
+            n_clusters=args.clusters,
+            bands=args.bands,
+            rows=args.rows,
+            max_iter=args.max_iter,
+            seed=args.seed,
+            absent_code=args.absent_code,
+        )
+    model.fit(dataset.X)
+    assert model.stats_ is not None and model.labels_ is not None
+    print(f"dataset   : {dataset.describe()}")
+    print(f"algorithm : {model.stats_.algorithm}")
+    print(f"iterations: {model.n_iter_} (converged={model.converged_})")
+    print(f"setup     : {model.stats_.setup_s:.3f}s")
+    print(f"total     : {model.stats_.total_time_s:.3f}s")
+    print(f"cost      : {model.cost_:.0f}")
+    print(f"purity    : {cluster_purity(model.labels_, dataset.labels):.4f}")
+    for it in model.stats_.iterations:
+        shortlist = (
+            f" shortlist={it.mean_shortlist:8.2f}"
+            if not np.isnan(it.mean_shortlist)
+            else ""
+        )
+        print(
+            f"  iter {it.iteration:3d}: {it.duration_s:7.3f}s "
+            f"moves={it.moves:6d}{shortlist}"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        EXPERIMENTS,
+        SyntheticConfig,
+        render_comparison_summary,
+        render_series_table,
+        run_synthetic_experiment,
+        run_yahoo_experiment,
+    )
+
+    config = EXPERIMENTS.get(args.experiment)
+    if config is None:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(config.description)
+    if isinstance(config, SyntheticConfig):
+        result = run_synthetic_experiment(config)
+    else:
+        result = run_yahoo_experiment(config)
+    print(render_comparison_summary(result))
+    print()
+    for fieldname in ("duration_s", "mean_shortlist", "moves"):
+        print(render_series_table(result, fieldname))
+        print()
+    return 0
+
+
+def _cmd_tables(_: argparse.Namespace) -> int:
+    from repro.core.parameters import probability_table
+    from repro.experiments.report import render_probability_table
+
+    table1 = probability_table(
+        rows=1,
+        band_choices=[10, 100, 800],
+        similarities=[0.0001, 0.001, 0.01, 0.1, 0.2, 0.5, 0.8],
+    )
+    table2 = probability_table(
+        rows=5,
+        band_choices=[10, 100, 800],
+        similarities=[0.1, 0.2, 0.3, 0.5, 0.8],
+    )
+    print(render_probability_table(table1, "Table I (rows=1, cluster size 10)"))
+    print()
+    print(render_probability_table(table2, "Table II (rows=5, cluster size 10)"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "cluster": _cmd_cluster,
+        "compare": _cmd_compare,
+        "tables": _cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

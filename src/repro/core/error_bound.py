@@ -1,0 +1,106 @@
+"""Closed-form probabilities behind Tables I & II and Section III-C.
+
+Three quantities, all exact under the MinHash model:
+
+* :func:`candidate_pair_probability` — two items of Jaccard similarity
+  ``s`` collide in at least one band: ``1 - (1 - s^r)^b``.
+* :func:`cluster_recall_probability` — a cluster holding ``c`` items of
+  similarity at least ``s`` to the query contributes at least one
+  collision: ``1 - (1 - s^r)^(b·c)``.  This is the "MH-K-Modes
+  probability" column of Tables I and II (the paper uses ``c = 10``).
+* :func:`error_bound` — Section III-C: the probability that the *true*
+  best cluster is absent from the shortlist is at most
+  ``(1 - (1/(2m-1))^r)^(b·|C|)`` for items with ``m`` attributes,
+  because the best cluster must contain an item agreeing on at least
+  one attribute, giving Jaccard similarity at least ``1/(2m-1)``.
+
+The paper's running example — m=100, r=1, b=25, cluster size 20 —
+evaluates to 0.08, reproduced in the tests to the printed precision.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.lsh.bands import band_probability, validate_bands_rows
+
+__all__ = [
+    "candidate_pair_probability",
+    "cluster_recall_probability",
+    "error_bound",
+    "minimum_similarity",
+]
+
+
+def candidate_pair_probability(similarity: float, bands: int, rows: int) -> float:
+    """P(two items with Jaccard ``similarity`` become a candidate pair).
+
+    Implements ``1 - (1 - s^r)^b`` (Section III-A2).  This is the
+    "Probability" column of Tables I and II.
+
+    Examples
+    --------
+    >>> round(candidate_pair_probability(0.1, bands=10, rows=1), 2)
+    0.65
+    """
+    return band_probability(similarity, bands, rows)
+
+
+def cluster_recall_probability(
+    similarity: float, bands: int, rows: int, cluster_size: int
+) -> float:
+    """P(a cluster with ``cluster_size`` similar items reaches the shortlist).
+
+    The shortlist needs only *one* member of the cluster to collide
+    (Section III-D): with ``c`` independent opportunities the recall is
+    ``1 - (1 - s^r)^(b·c)``.  This is the "MH-K-Modes Probability"
+    column of Tables I and II, where the paper assumes ``c = 10``.
+
+    Examples
+    --------
+    >>> round(cluster_recall_probability(0.1, bands=10, rows=1, cluster_size=10), 2)
+    1.0
+    """
+    validate_bands_rows(bands, rows)
+    if cluster_size <= 0:
+        raise ConfigurationError(f"cluster_size must be positive, got {cluster_size}")
+    if not 0.0 <= similarity <= 1.0:
+        raise DataValidationError(f"similarity must be in [0, 1], got {similarity}")
+    return 1.0 - (1.0 - similarity**rows) ** (bands * cluster_size)
+
+
+def minimum_similarity(n_attributes: int) -> float:
+    """Worst-case Jaccard similarity between an item and its best cluster.
+
+    Section III-C: if cluster C is the best for item X, some member of
+    C must share at least one of X's ``m`` attribute values (otherwise
+    the mode of C would be at distance m and C could not win).  Sharing
+    one of m attribute values gives Jaccard similarity at least
+    ``1 / (2m - 1)``.
+    """
+    if n_attributes <= 0:
+        raise ConfigurationError(
+            f"n_attributes must be positive, got {n_attributes}"
+        )
+    return 1.0 / (2 * n_attributes - 1)
+
+
+def error_bound(
+    n_attributes: int, bands: int, rows: int, cluster_size: int
+) -> float:
+    """Upper bound on P(true best cluster missing from the shortlist).
+
+    Section III-C: ``(1 - (1/(2m-1))^r)^(b·|C|)``.  The bound shrinks
+    exponentially in both the number of bands and the cluster size.
+
+    Examples
+    --------
+    The paper's worked example (m=100, r=1, b=25, |C|=20):
+
+    >>> round(error_bound(100, bands=25, rows=1, cluster_size=20), 2)
+    0.08
+    """
+    validate_bands_rows(bands, rows)
+    if cluster_size <= 0:
+        raise ConfigurationError(f"cluster_size must be positive, got {cluster_size}")
+    s_min = minimum_similarity(n_attributes)
+    return (1.0 - s_min**rows) ** (bands * cluster_size)

@@ -1,0 +1,350 @@
+"""The generic LSH-accelerated centroid clustering loop.
+
+This is the paper's framework (Section III-B) factored out of any one
+algorithm.  A concrete estimator supplies five kernels:
+
+* how items are validated and *encoded* for the LSH family;
+* how initial centroids are chosen;
+* the exhaustive assignment pass (used once at setup, per the paper's
+  step 2, and by the baseline comparison path);
+* a point-to-centroids distance kernel (run against shortlists);
+* the centroid update and the cost function.
+
+The base class owns the loop itself:
+
+1. choose centroids; run one exhaustive assignment pass;
+2. hash every item once, build the
+   :class:`~repro.lsh.index.ClusteredLSHIndex` with the items'
+   cluster references (all of this is the *setup* cost the paper
+   includes in total clustering time);
+3. per iteration, per item: query the index for the candidate-cluster
+   shortlist, compute exact distances only against the shortlist, and
+   on reassignment update the item's cluster reference in place
+   (``update_refs='online'``, the paper's behaviour) or at the end of
+   the pass (``'batch'``);
+4. recompute centroids; stop when no item moved or ``max_iter`` hits.
+
+Shortlists of indexed items always contain the item's current cluster
+because every item collides with itself, so an iteration can never
+leave an item without candidates.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.shortlist import FALLBACK_POLICIES, ShortlistAccumulator, apply_fallback
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.instrumentation import RunStats, Timer
+from repro.lsh.index import ClusteredLSHIndex
+
+__all__ = ["BaseLSHAcceleratedClustering"]
+
+
+class BaseLSHAcceleratedClustering(abc.ABC):
+    """Template for centroid algorithms accelerated with a banded LSH index.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    bands, rows:
+        LSH banding parameters; the signature width is ``bands * rows``.
+    max_iter:
+        Cap on shortlist iterations (the setup pass is not counted).
+    seed:
+        Controls initialisation and the hash functions.
+    update_refs:
+        ``'online'`` (paper): an item's cluster reference is updated the
+        moment it moves, so later items in the same pass see it.
+        ``'batch'``: references update at the end of each pass.
+    precompute_neighbours:
+        Forwarded to :class:`~repro.lsh.index.ClusteredLSHIndex`.
+    track_cost:
+        Record the cost function each iteration.
+    predict_fallback:
+        Policy when a *novel* item's shortlist is empty at predict
+        time: ``'full'`` (exact scan) or ``'error'``.
+
+    Attributes
+    ----------
+    centroids_:
+        ``(k, m)`` fitted centroids.
+    labels_:
+        Training assignments.
+    stats_:
+        Per-iteration series (time, moves, mean shortlist size); the
+        setup pass is recorded in ``stats_.setup_s``.
+    index_:
+        The built :class:`~repro.lsh.index.ClusteredLSHIndex`.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        bands: int,
+        rows: int,
+        max_iter: int = 100,
+        seed: int | None = None,
+        update_refs: str = "online",
+        precompute_neighbours: bool = True,
+        track_cost: bool = True,
+        predict_fallback: str = "full",
+    ):
+        if n_clusters <= 0:
+            raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
+        if bands <= 0 or rows <= 0:
+            raise ConfigurationError(
+                f"bands and rows must be positive, got bands={bands}, rows={rows}"
+            )
+        if max_iter <= 0:
+            raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
+        if update_refs not in ("online", "batch"):
+            raise ConfigurationError(
+                f"update_refs must be 'online' or 'batch', got {update_refs!r}"
+            )
+        if predict_fallback not in FALLBACK_POLICIES:
+            raise ConfigurationError(
+                f"predict_fallback must be one of {FALLBACK_POLICIES}, "
+                f"got {predict_fallback!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.bands = int(bands)
+        self.rows = int(rows)
+        self.max_iter = int(max_iter)
+        self.seed = seed
+        self.update_refs = update_refs
+        self.precompute_neighbours = bool(precompute_neighbours)
+        self.track_cost = bool(track_cost)
+        self.predict_fallback = predict_fallback
+
+        self.centroids_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.cost_: float = float("nan")
+        self.n_iter_: int = 0
+        self.converged_: bool = False
+        self.stats_: RunStats | None = None
+        self.index_: ClusteredLSHIndex | None = None
+
+    # ------------------------------------------------------------------
+    # kernels supplied by concrete algorithms
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _validate_X(self, X: np.ndarray) -> np.ndarray:
+        """Check and normalise the input matrix."""
+
+    @abc.abstractmethod
+    def _algorithm_name(self) -> str:
+        """Label used in run statistics, e.g. ``"MH-K-Modes 20b 5r"``."""
+
+    @abc.abstractmethod
+    def _initial_centroids(
+        self, X: np.ndarray, initial: np.ndarray | None, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Choose the k starting centroids."""
+
+    @abc.abstractmethod
+    def _signatures(self, X: np.ndarray) -> np.ndarray:
+        """Encode items and produce the ``(n, bands*rows)`` signatures."""
+
+    @abc.abstractmethod
+    def _exhaustive_assign(
+        self, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Assign every item against every centroid; returns (labels, moves)."""
+
+    @abc.abstractmethod
+    def _point_distances(
+        self, X: np.ndarray, item: int, centroids: np.ndarray
+    ) -> np.ndarray:
+        """Distances from item ``item`` to a subset matrix of centroids."""
+
+    @abc.abstractmethod
+    def _update_centroids(
+        self,
+        X: np.ndarray,
+        labels: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Recompute centroids for the new assignment."""
+
+    @abc.abstractmethod
+    def _compute_cost(
+        self, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Clustering cost (only called when ``track_cost`` is on)."""
+
+    # ------------------------------------------------------------------
+    # the framework loop
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, initial_centroids: np.ndarray | None = None):
+        """Run the accelerated clustering on ``X``.
+
+        Parameters
+        ----------
+        X:
+            Item matrix (validated by the concrete algorithm).
+        initial_centroids:
+            Optional explicit starting centroids; pass the same array
+            to the exhaustive baseline to replicate the paper's
+            fixed-initialisation protocol.
+        """
+        X = self._validate_X(X)
+        rng = np.random.default_rng(self.seed)
+        centroids = self._initial_centroids(X, initial_centroids, rng)
+        n = X.shape[0]
+
+        stats = RunStats(algorithm=self._algorithm_name())
+
+        # --- setup: one exhaustive pass + one indexing pass (paper's
+        # "initial extra step", charged to total time, not per-iteration).
+        with Timer() as setup_timer:
+            labels, _ = self._exhaustive_assign(
+                X, centroids, np.full(n, -1, dtype=np.int64)
+            )
+            signatures = self._signatures(X)
+            index = ClusteredLSHIndex(
+                self.bands, self.rows, precompute_neighbours=self.precompute_neighbours
+            )
+            index.build(signatures, labels)
+            centroids = self._update_centroids(X, labels, centroids, rng)
+        stats.setup_s = setup_timer.elapsed_s
+
+        converged = False
+        for _ in range(self.max_iter):
+            accumulator = ShortlistAccumulator()
+            with Timer() as timer:
+                labels, moves = self._shortlist_pass(
+                    X, centroids, labels, index, accumulator
+                )
+                centroids = self._update_centroids(X, labels, centroids, rng)
+            cost = (
+                self._compute_cost(X, centroids, labels)
+                if self.track_cost
+                else float("nan")
+            )
+            stats.record(
+                duration_s=timer.elapsed_s,
+                moves=moves,
+                cost=cost,
+                mean_shortlist=accumulator.mean(),
+                n_empty_clusters=self.n_clusters - len(np.unique(labels)),
+            )
+            if moves == 0:
+                converged = True
+                break
+
+        stats.converged = converged
+        self.centroids_ = centroids
+        self.labels_ = labels
+        self.cost_ = float(self._compute_cost(X, centroids, labels))
+        self.n_iter_ = stats.n_iterations
+        self.converged_ = converged
+        self.stats_ = stats
+        self.index_ = index
+        return self
+
+    def fit_predict(
+        self, X: np.ndarray, initial_centroids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Fit and return the training labels."""
+        self.fit(X, initial_centroids=initial_centroids)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def _shortlist_pass(
+        self,
+        X: np.ndarray,
+        centroids: np.ndarray,
+        labels: np.ndarray,
+        index: ClusteredLSHIndex,
+        accumulator: ShortlistAccumulator,
+    ) -> tuple[np.ndarray, int]:
+        """One assignment pass over all items using index shortlists.
+
+        This is the hot loop of the whole library, so it works on raw
+        arrays: the index's live assignment view doubles as the label
+        array (online reference updates are then a plain element write),
+        and precomputed neighbour lists are walked as CSR slices.
+        """
+        online = self.update_refs == "online"
+        index.set_assignments(labels)
+        refs = index.assignments_view()  # live view; refs[i] = c updates the index
+        new_labels = labels.copy()
+        working = refs if online else labels
+        groups = index.neighbour_groups()
+        point_distances = self._point_distances
+        unique = np.unique
+        argmin = np.argmin
+        searchsorted = np.searchsorted
+        moves = 0
+        total_shortlist = 0
+        n = X.shape[0]
+        for i in range(n):
+            if groups is not None:
+                group_of, group_neighbours = groups
+                neighbours = group_neighbours[group_of[i]]
+            else:
+                neighbours = index.candidate_items(i)
+            shortlist = unique(working[neighbours])
+            total_shortlist += len(shortlist)
+            distances = point_distances(X, i, centroids[shortlist])
+            best_pos = argmin(distances)
+            current = working[i] if online else labels[i]
+            # Keep the current cluster on ties so that a fixed point of
+            # the assignment step exists (required for the no-moves
+            # termination criterion).  ``shortlist`` is sorted (np.unique),
+            # so the current cluster is found by bisection.
+            cur_pos = searchsorted(shortlist, current)
+            if distances[cur_pos] <= distances[best_pos]:
+                continue
+            best = int(shortlist[best_pos])
+            moves += 1
+            new_labels[i] = best
+            if online:
+                refs[i] = best
+        accumulator.add_many(total_shortlist, n)
+        if not online:
+            index.set_assignments(new_labels)
+        return new_labels, moves
+
+    # ------------------------------------------------------------------
+    # prediction for novel items
+    # ------------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign unseen items using the index (with fallback policy).
+
+        Novel items are hashed, their shortlist is looked up from the
+        trained index, and the nearest shortlisted centroid wins.  An
+        empty shortlist triggers ``predict_fallback``.
+        """
+        if self.centroids_ is None or self.index_ is None:
+            raise NotFittedError("call fit before predict")
+        X = self._validate_X(X)
+        if X.shape[1] != self.centroids_.shape[1]:
+            raise DataValidationError(
+                f"X has {X.shape[1]} attributes but the model was fitted "
+                f"with {self.centroids_.shape[1]}"
+            )
+        signatures = self._signatures(X)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for i in range(X.shape[0]):
+            shortlist = self.index_.candidate_clusters_for_signature(signatures[i])
+            shortlist = apply_fallback(
+                shortlist, self.n_clusters, self.predict_fallback
+            )
+            distances = self._point_distances(X, i, self.centroids_[shortlist])
+            out[i] = int(shortlist[np.argmin(distances)])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n_clusters={self.n_clusters}, "
+            f"bands={self.bands}, rows={self.rows}, seed={self.seed})"
+        )

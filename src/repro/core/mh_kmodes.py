@@ -1,0 +1,235 @@
+"""MH-K-Modes — the paper's MinHash-accelerated K-Modes (Section III-B).
+
+The estimator plugs the K-Modes kernels (matching dissimilarity,
+frequency-based mode update, P(W, Q) cost) into the generic
+:class:`~repro.core.framework.BaseLSHAcceleratedClustering` loop with
+MinHash as the LSH family:
+
+* items are encoded as sets of *(attribute, value)* tokens, optionally
+  dropping an "absent" code first (the presence filtering of
+  Algorithm 2 lines 1-4, important for sparse binary data such as the
+  Yahoo! Answers word-presence vectors);
+* each item is MinHashed once into a banded index that also carries
+  the item's current cluster;
+* every assignment step consults the index for a shortlist of
+  candidate clusters and computes exact matching distances only
+  against the shortlist.
+
+With parameters ``bands=20, rows=5`` and the synthetic workloads of
+Section IV-A, shortlists shrink from k (tens of thousands in the
+paper) to a handful, which is where the 2-6× speedup comes from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import BaseLSHAcceleratedClustering
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.kmodes.cost import clustering_cost
+from repro.kmodes.dissimilarity import distances_to_modes
+from repro.kmodes.initialization import resolve_init
+from repro.kmodes.modes import compute_modes
+from repro.lsh.minhash import MinHasher
+from repro.lsh.tokens import TokenSets
+
+__all__ = ["MHKModes"]
+
+
+class MHKModes(BaseLSHAcceleratedClustering):
+    """MinHash-accelerated K-Modes.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    bands, rows:
+        MinHash banding parameters.  The paper evaluates (20, 2),
+        (20, 5), (50, 5) and (1, 1); see
+        :func:`repro.core.parameters.suggest_bands_rows` for guidance.
+    init:
+        Centroid initialisation (``'random'`` as in the paper,
+        ``'huang'``, or ``'cao'``); ignored when ``fit`` receives
+        explicit ``initial_centroids``.
+    max_iter:
+        Cap on shortlist iterations.
+    seed:
+        Controls initialisation and hashing.
+    absent_code:
+        If given, attribute values equal to this code are treated as
+        "feature not present" and excluded from MinHash (presence
+        filtering).  Distances are still computed on the full vectors,
+        exactly as in the paper.
+    domain_size:
+        Global category domain size for token encoding (default:
+        inferred from the data).
+    empty_cluster_policy:
+        Forwarded to the mode update: ``'keep'``, ``'reinit'``,
+        ``'error'``.
+    update_refs, precompute_neighbours, track_cost, predict_fallback:
+        See :class:`~repro.core.framework.BaseLSHAcceleratedClustering`.
+    chunk_items:
+        Chunk size of the one-off exhaustive setup pass.
+
+    Attributes
+    ----------
+    modes_:
+        Alias of ``centroids_`` in K-Modes terminology.
+
+    Examples
+    --------
+    >>> X = np.array([[0, 1, 2], [0, 1, 2], [7, 8, 9], [7, 8, 9]])
+    >>> model = MHKModes(n_clusters=2, bands=8, rows=1, seed=0).fit(X)
+    >>> sorted(np.bincount(model.labels_).tolist())
+    [2, 2]
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        bands: int = 20,
+        rows: int = 5,
+        init: str = "random",
+        max_iter: int = 100,
+        seed: int | None = None,
+        absent_code: int | None = None,
+        domain_size: int | None = None,
+        empty_cluster_policy: str = "keep",
+        update_refs: str = "online",
+        precompute_neighbours: bool = True,
+        track_cost: bool = True,
+        predict_fallback: str = "full",
+        chunk_items: int = 256,
+    ):
+        super().__init__(
+            n_clusters=n_clusters,
+            bands=bands,
+            rows=rows,
+            max_iter=max_iter,
+            seed=seed,
+            update_refs=update_refs,
+            precompute_neighbours=precompute_neighbours,
+            track_cost=track_cost,
+            predict_fallback=predict_fallback,
+        )
+        resolve_init(init)
+        if chunk_items <= 0:
+            raise ConfigurationError(f"chunk_items must be positive, got {chunk_items}")
+        self.init = init
+        self.absent_code = absent_code
+        self.domain_size = domain_size
+        self.empty_cluster_policy = empty_cluster_policy
+        self.chunk_items = int(chunk_items)
+        self._hasher = MinHasher(self.bands * self.rows, seed=self._hash_seed())
+        self._fitted_domain_size: int | None = None
+
+    def _hash_seed(self) -> int:
+        # Decouple the hashing stream from the initialisation stream so
+        # fixing initial modes across variants does not change hashes.
+        return (0 if self.seed is None else int(self.seed)) ^ 0x5EEDBEEF
+
+    # ------------------------------------------------------------------
+    # K-Modes kernels
+    # ------------------------------------------------------------------
+
+    @property
+    def modes_(self) -> np.ndarray | None:
+        """Cluster modes (K-Modes name for the centroids)."""
+        return self.centroids_
+
+    def _algorithm_name(self) -> str:
+        return f"MH-K-Modes {self.bands}b {self.rows}r"
+
+    def _validate_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X)
+        if X.ndim != 2 or X.size == 0:
+            raise DataValidationError("X must be a non-empty 2-D matrix")
+        if not np.issubdtype(X.dtype, np.integer):
+            raise DataValidationError(
+                f"X must hold integer category codes, got dtype {X.dtype}; "
+                "use repro.data.encoding.CategoricalEncoder for raw values"
+            )
+        if X.min() < 0:
+            raise DataValidationError("category codes must be non-negative")
+        return X
+
+    def _initial_centroids(
+        self, X: np.ndarray, initial: np.ndarray | None, rng: np.random.Generator
+    ) -> np.ndarray:
+        if initial is not None:
+            initial = np.asarray(initial)
+            if initial.shape != (self.n_clusters, X.shape[1]):
+                raise DataValidationError(
+                    f"initial_centroids shape {initial.shape} != "
+                    f"({self.n_clusters}, {X.shape[1]})"
+                )
+            return initial.astype(X.dtype, copy=True)
+        if self.n_clusters > X.shape[0]:
+            raise ConfigurationError(
+                f"n_clusters={self.n_clusters} exceeds n_items={X.shape[0]}"
+            )
+        return resolve_init(self.init)(X, self.n_clusters, rng)
+
+    def _signatures(self, X: np.ndarray) -> np.ndarray:
+        domain = self.domain_size
+        if domain is None:
+            # Freeze the inferred domain at fit time so predict-time
+            # matrices with smaller maxima encode identically.
+            if self._fitted_domain_size is None:
+                self._fitted_domain_size = int(X.max()) + 1
+            domain = self._fitted_domain_size
+        token_sets = TokenSets.from_categorical_matrix(
+            X, domain_size=domain, absent_code=self.absent_code
+        )
+        return self._hasher.signatures(token_sets)
+
+    def _exhaustive_assign(
+        self, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        n = X.shape[0]
+        new_labels = np.empty(n, dtype=np.int64)
+        for start in range(0, n, self.chunk_items):
+            stop = min(start + self.chunk_items, n)
+            dists = np.count_nonzero(
+                X[start:stop, None, :] != centroids[None, :, :], axis=2
+            )
+            best = np.argmin(dists, axis=1)
+            chunk_labels = labels[start:stop]
+            assigned = chunk_labels >= 0
+            if np.any(assigned):
+                rows_idx = np.flatnonzero(assigned)
+                current = chunk_labels[rows_idx]
+                keep = dists[rows_idx, current] <= dists[rows_idx, best[rows_idx]]
+                best[rows_idx[keep]] = current[keep]
+            new_labels[start:stop] = best
+        moves = int(np.count_nonzero(new_labels != labels))
+        return new_labels, moves
+
+    def _point_distances(
+        self, X: np.ndarray, item: int, centroids: np.ndarray
+    ) -> np.ndarray:
+        # Hot path: inline the matching-distance kernel without the
+        # public API's validation (inputs are trusted here, and this
+        # runs once per item per iteration).
+        return np.count_nonzero(centroids != X[item][None, :], axis=1)
+
+    def _update_centroids(
+        self,
+        X: np.ndarray,
+        labels: np.ndarray,
+        previous: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return compute_modes(
+            X,
+            labels,
+            self.n_clusters,
+            previous_modes=previous,
+            empty_policy=self.empty_cluster_policy,
+            rng=rng,
+        )
+
+    def _compute_cost(
+        self, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+    ) -> float:
+        return float(clustering_cost(X, centroids, labels))

@@ -1,0 +1,166 @@
+"""(bands, rows) selection — the guidance of Section III-D.
+
+The choice of ``b`` and ``r`` positions the S-curve
+``1 - (1 - s^r)^b``: more bands catch lower similarities (more recall,
+bigger shortlists); more rows sharpen the curve (smaller shortlists,
+more false negatives).  The paper's twist is that the framework only
+needs *one* collision per candidate cluster, so the effective recall is
+computed per cluster (``cluster_size`` collision opportunities) rather
+than per pair, and the standard selection rules "need not be so
+strict".
+
+:func:`suggest_bands_rows` searches small (b, r) grids for the cheapest
+configuration whose *cluster-level* recall at a target similarity
+clears a requested probability — exactly the reasoning of the paper's
+footnote 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.error_bound import (
+    candidate_pair_probability,
+    cluster_recall_probability,
+)
+from repro.exceptions import ConfigurationError
+from repro.lsh.bands import threshold_similarity
+
+__all__ = ["ParameterRecommendation", "suggest_bands_rows", "probability_table"]
+
+
+@dataclass(frozen=True)
+class ParameterRecommendation:
+    """A candidate (bands, rows) configuration and its properties.
+
+    Attributes
+    ----------
+    bands, rows:
+        The configuration.
+    n_hashes:
+        Signature width ``bands * rows`` (the computational cost of
+        hashing each item).
+    pair_probability:
+        Candidate-pair probability at the target similarity.
+    cluster_recall:
+        Probability the true cluster reaches the shortlist at the
+        target similarity, given the assumed cluster size.
+    threshold:
+        The S-curve midpoint ``(1/b)^(1/r)``.
+    """
+
+    bands: int
+    rows: int
+    n_hashes: int
+    pair_probability: float
+    cluster_recall: float
+    threshold: float
+
+
+def suggest_bands_rows(
+    target_similarity: float,
+    cluster_size: int = 10,
+    min_recall: float = 0.95,
+    max_hashes: int = 512,
+    max_rows: int = 8,
+) -> ParameterRecommendation:
+    """Cheapest (b, r) whose cluster-level recall clears ``min_recall``.
+
+    Parameters
+    ----------
+    target_similarity:
+        Jaccard similarity at which similar items must be found — for
+        K-Modes acceleration a sensible value is the typical
+        within-cluster item similarity.
+    cluster_size:
+        Assumed number of similar items in the true cluster (the paper
+        uses 10 in Tables I/II and 20 in the error-bound example).
+    min_recall:
+        Required :func:`cluster_recall_probability`.
+    max_hashes:
+        Budget on signature width ``b*r`` (hashing cost per item).
+    max_rows:
+        Largest ``r`` considered.
+
+    Returns
+    -------
+    ParameterRecommendation
+        The configuration with the fewest hash functions that meets the
+        recall target; ties prefer more rows (sharper curves produce
+        smaller shortlists).
+
+    Raises
+    ------
+    ConfigurationError
+        If no configuration within the budget reaches the target.
+    """
+    if not 0.0 < target_similarity <= 1.0:
+        raise ConfigurationError(
+            f"target_similarity must be in (0, 1], got {target_similarity}"
+        )
+    if not 0.0 < min_recall < 1.0:
+        raise ConfigurationError(f"min_recall must be in (0, 1), got {min_recall}")
+    if cluster_size <= 0:
+        raise ConfigurationError(f"cluster_size must be positive, got {cluster_size}")
+    best: ParameterRecommendation | None = None
+    for rows in range(max_rows, 0, -1):
+        for bands in range(1, max_hashes // rows + 1):
+            recall = cluster_recall_probability(
+                target_similarity, bands, rows, cluster_size
+            )
+            if recall < min_recall:
+                continue
+            candidate = ParameterRecommendation(
+                bands=bands,
+                rows=rows,
+                n_hashes=bands * rows,
+                pair_probability=candidate_pair_probability(
+                    target_similarity, bands, rows
+                ),
+                cluster_recall=recall,
+                threshold=threshold_similarity(bands, rows),
+            )
+            if best is None or candidate.n_hashes < best.n_hashes:
+                best = candidate
+            break  # more bands at this r only costs more
+    if best is None:
+        raise ConfigurationError(
+            f"no (bands, rows) with at most {max_hashes} hashes reaches "
+            f"recall {min_recall} at similarity {target_similarity}"
+        )
+    return best
+
+
+def probability_table(
+    rows: int,
+    band_choices: list[int],
+    similarities: list[float],
+    cluster_size: int = 10,
+) -> list[dict[str, float]]:
+    """Regenerate a Table I / Table II style probability grid.
+
+    One output row per (bands, similarity) combination, with the
+    candidate-pair probability and the cluster-level MH-K-Modes
+    probability, exactly as printed in the paper.
+
+    Examples
+    --------
+    >>> table = probability_table(1, [10], [0.1])
+    >>> round(table[0]["pair_probability"], 2)
+    0.65
+    """
+    out: list[dict[str, float]] = []
+    for bands in band_choices:
+        for s in similarities:
+            out.append(
+                {
+                    "bands": float(bands),
+                    "rows": float(rows),
+                    "similarity": s,
+                    "pair_probability": candidate_pair_probability(s, bands, rows),
+                    "mh_kmodes_probability": cluster_recall_probability(
+                        s, bands, rows, cluster_size
+                    ),
+                }
+            )
+    return out

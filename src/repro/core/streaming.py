@@ -1,0 +1,302 @@
+"""Streaming MH-K-Modes — the paper's Further Work, implemented.
+
+The paper closes with: "adapting our algorithm to develop an online
+streaming clustering framework would be another exciting future
+research topic."  The index makes this natural: the expensive part of
+assigning an item is gone (shortlists replace full scans), and a new
+item can be hashed into the existing buckets in O(bands).
+
+:class:`StreamingMHKModes` works in two phases:
+
+1. **bootstrap** — an ordinary MH-K-Modes fit on an initial batch
+   establishes modes and the clustered index (built *without*
+   precomputed neighbour lists so it stays insertable);
+2. **streaming** — each arriving item is MinHashed, inserted into the
+   buckets with its cluster reference, and assigned to the nearest
+   mode on its shortlist.  Per-cluster per-attribute value counts are
+   maintained incrementally, and modes are refreshed from these counts
+   every ``refresh_interval`` arrivals — no pass over past data ever
+   happens again.
+
+Items that collide with nothing fall back to a full mode scan (exact,
+rare) or can be rejected, per ``stream_fallback``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mh_kmodes import MHKModes
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.lsh.minhash import MinHasher
+from repro.lsh.tokens import TokenSets
+
+__all__ = ["ClusterModeTracker", "StreamingMHKModes"]
+
+
+class ClusterModeTracker:
+    """Incremental per-cluster, per-attribute category counts.
+
+    Maintains, for every cluster and attribute, a value → count map so
+    the mode (most frequent value, smallest code on ties) can be read
+    off at any time without touching historical items.
+    """
+
+    def __init__(self, n_clusters: int, n_attributes: int):
+        if n_clusters <= 0 or n_attributes <= 0:
+            raise ConfigurationError(
+                "n_clusters and n_attributes must be positive, got "
+                f"{n_clusters} and {n_attributes}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.n_attributes = int(n_attributes)
+        self._counts: list[list[dict[int, int]]] = [
+            [{} for _ in range(n_attributes)] for _ in range(n_clusters)
+        ]
+        self.cluster_sizes = np.zeros(n_clusters, dtype=np.int64)
+
+    @classmethod
+    def from_assignment(
+        cls, X: np.ndarray, labels: np.ndarray, n_clusters: int
+    ) -> "ClusterModeTracker":
+        """Build counts from an existing batch assignment."""
+        X = np.asarray(X)
+        tracker = cls(n_clusters, X.shape[1])
+        for item, cluster in zip(X, labels):
+            tracker.add(item, int(cluster))
+        return tracker
+
+    def add(self, item: np.ndarray, cluster: int) -> None:
+        """Count one item into ``cluster``."""
+        if not 0 <= cluster < self.n_clusters:
+            raise DataValidationError(
+                f"cluster {cluster} outside [0, {self.n_clusters})"
+            )
+        row = self._counts[cluster]
+        for j in range(self.n_attributes):
+            value = int(item[j])
+            row[j][value] = row[j].get(value, 0) + 1
+        self.cluster_sizes[cluster] += 1
+
+    def mode_of(self, cluster: int, fallback: np.ndarray) -> np.ndarray:
+        """Current mode of ``cluster`` (``fallback`` where it is empty)."""
+        row = self._counts[cluster]
+        out = fallback.copy()
+        for j in range(self.n_attributes):
+            counts = row[j]
+            if counts:
+                # max count, ties to the smallest value code — matching
+                # repro.kmodes.modes.compute_modes exactly.
+                out[j] = min(
+                    (value for value in counts),
+                    key=lambda v: (-counts[v], v),
+                )
+        return out
+
+    def modes(self, fallback: np.ndarray) -> np.ndarray:
+        """All cluster modes at once."""
+        fallback = np.asarray(fallback)
+        if fallback.shape != (self.n_clusters, self.n_attributes):
+            raise DataValidationError(
+                f"fallback shape {fallback.shape} != "
+                f"({self.n_clusters}, {self.n_attributes})"
+            )
+        return np.stack(
+            [self.mode_of(c, fallback[c]) for c in range(self.n_clusters)]
+        )
+
+
+class StreamingMHKModes:
+    """Online MH-K-Modes over an unbounded item stream.
+
+    Parameters
+    ----------
+    n_clusters, bands, rows, seed, absent_code, domain_size:
+        As in :class:`repro.core.MHKModes`; these configure both the
+        bootstrap fit and the streaming index.
+    refresh_interval:
+        Modes are recomputed from the incremental counts after this
+        many streamed arrivals (and counts continue to accumulate in
+        between).  Smaller = fresher modes, more overhead.
+    stream_fallback:
+        ``'full'`` — items whose shortlist is empty are assigned by a
+        full scan over the modes (exact, rare);
+        ``'error'`` — raise instead.
+    max_iter:
+        Iteration cap of the bootstrap fit.
+
+    Attributes
+    ----------
+    modes_:
+        Current cluster modes.
+    n_seen_:
+        Total items absorbed (bootstrap + streamed).
+    n_fallbacks_:
+        Streamed items that needed the full-scan fallback.
+
+    Examples
+    --------
+    >>> from repro.data import RuleBasedGenerator
+    >>> data = RuleBasedGenerator(n_clusters=5, n_attributes=12, seed=0).generate(120)
+    >>> stream = StreamingMHKModes(n_clusters=5, bands=8, rows=1, seed=0)
+    >>> stream.bootstrap(data.X[:80])                       # doctest: +ELLIPSIS
+    <repro.core.streaming.StreamingMHKModes object at ...>
+    >>> labels = stream.extend(data.X[80:])
+    >>> len(labels)
+    40
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        bands: int = 20,
+        rows: int = 5,
+        seed: int | None = None,
+        absent_code: int | None = None,
+        domain_size: int | None = None,
+        refresh_interval: int = 200,
+        stream_fallback: str = "full",
+        max_iter: int = 100,
+    ):
+        if refresh_interval <= 0:
+            raise ConfigurationError(
+                f"refresh_interval must be positive, got {refresh_interval}"
+            )
+        if stream_fallback not in ("full", "error"):
+            raise ConfigurationError(
+                f"stream_fallback must be 'full' or 'error', got {stream_fallback!r}"
+            )
+        self.n_clusters = int(n_clusters)
+        self.bands = int(bands)
+        self.rows = int(rows)
+        self.seed = seed
+        self.absent_code = absent_code
+        self.domain_size = domain_size
+        self.refresh_interval = int(refresh_interval)
+        self.stream_fallback = stream_fallback
+        self.max_iter = int(max_iter)
+
+        self._bootstrap_model: MHKModes | None = None
+        self._hasher: MinHasher | None = None
+        self._tracker: ClusterModeTracker | None = None
+        self._fitted_domain: int | None = None
+        self._since_refresh = 0
+        self.modes_: np.ndarray | None = None
+        self.n_seen_: int = 0
+        self.n_fallbacks_: int = 0
+
+    # ------------------------------------------------------------------
+    # phase 1: bootstrap
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, X: np.ndarray, initial_centroids: np.ndarray | None = None):
+        """Fit the initial batch and build the insertable index."""
+        model = MHKModes(
+            n_clusters=self.n_clusters,
+            bands=self.bands,
+            rows=self.rows,
+            seed=self.seed,
+            absent_code=self.absent_code,
+            domain_size=self.domain_size,
+            max_iter=self.max_iter,
+            precompute_neighbours=False,  # keeps the index insertable
+        )
+        model.fit(X, initial_centroids=initial_centroids)
+        assert model.labels_ is not None and model.centroids_ is not None
+        assert model.index_ is not None
+        self._bootstrap_model = model
+        self._hasher = model._hasher
+        self._fitted_domain = (
+            self.domain_size
+            if self.domain_size is not None
+            else model._fitted_domain_size
+        )
+        self._tracker = ClusterModeTracker.from_assignment(
+            np.asarray(X), model.labels_, self.n_clusters
+        )
+        self.modes_ = model.centroids_.copy()
+        self.n_seen_ = len(X)
+        return self
+
+    # ------------------------------------------------------------------
+    # phase 2: streaming
+    # ------------------------------------------------------------------
+
+    def push(self, item: np.ndarray) -> int:
+        """Absorb one arriving item; returns its assigned cluster."""
+        self._check_bootstrapped()
+        assert (
+            self._bootstrap_model is not None
+            and self._hasher is not None
+            and self._tracker is not None
+            and self.modes_ is not None
+        )
+        item = np.asarray(item)
+        if item.ndim != 1 or item.shape[0] != self.modes_.shape[1]:
+            raise DataValidationError(
+                f"item must be 1-D with {self.modes_.shape[1]} attributes, "
+                f"got shape {item.shape}"
+            )
+        index = self._bootstrap_model.index_
+        assert index is not None
+
+        tokens = TokenSets.from_categorical_matrix(
+            item[None, :],
+            domain_size=self._fitted_domain,
+            absent_code=self.absent_code,
+        )
+        signature = self._hasher.signatures(tokens)[0]
+        shortlist = index.candidate_clusters_for_signature(signature)
+        if shortlist.size == 0:
+            if self.stream_fallback == "error":
+                raise ConfigurationError(
+                    "streamed item collided with nothing and "
+                    "stream_fallback='error'"
+                )
+            self.n_fallbacks_ += 1
+            shortlist = np.arange(self.n_clusters, dtype=np.int64)
+        distances = np.count_nonzero(
+            self.modes_[shortlist] != item[None, :], axis=1
+        )
+        cluster = int(shortlist[np.argmin(distances)])
+
+        index.insert(signature, cluster)
+        self._tracker.add(item, cluster)
+        self.n_seen_ += 1
+        self._since_refresh += 1
+        if self._since_refresh >= self.refresh_interval:
+            self.refresh_modes()
+        return cluster
+
+    def extend(self, X: np.ndarray) -> np.ndarray:
+        """Absorb a batch of arrivals; returns their cluster labels."""
+        X = np.asarray(X)
+        if X.ndim != 2:
+            raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+        return np.array([self.push(row) for row in X], dtype=np.int64)
+
+    def refresh_modes(self) -> None:
+        """Recompute modes from the incremental counts."""
+        self._check_bootstrapped()
+        assert self._tracker is not None and self.modes_ is not None
+        self.modes_ = self._tracker.modes(self.modes_)
+        self._since_refresh = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster_sizes_(self) -> np.ndarray:
+        """Items absorbed per cluster (bootstrap + streamed)."""
+        self._check_bootstrapped()
+        assert self._tracker is not None
+        return self._tracker.cluster_sizes.copy()
+
+    def _check_bootstrapped(self) -> None:
+        if self._bootstrap_model is None:
+            raise NotFittedError("call bootstrap(X) before streaming")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingMHKModes(n_clusters={self.n_clusters}, "
+            f"bands={self.bands}, rows={self.rows}, seen={self.n_seen_})"
+        )

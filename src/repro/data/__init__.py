@@ -1,0 +1,50 @@
+"""Dataset substrate: generators, text pipeline, encodings, persistence.
+
+The paper evaluates on (a) five synthetic categorical datasets built
+with the long-defunct ``datgen`` tool and (b) the licence-gated Yahoo!
+Answers Webscope corpus.  Neither is obtainable, so this package
+rebuilds both from their descriptions:
+
+* :mod:`repro.data.datgen` — conjunctive-rule categorical generator
+  matching Section IV-A's description of the datgen configuration;
+* :mod:`repro.data.yahoo` — topic-tagged question corpus generator
+  with Zipfian vocabulary and noisy user labels, standing in for the
+  Webscope L6 data;
+* :mod:`repro.data.text` / :mod:`repro.data.tfidf` — tokeniser,
+  vocabulary, and the TF-IDF word selection of Section IV-B;
+* :mod:`repro.data.encoding` — raw-value → integer-code encoders and
+  the binary word-presence encoding with feature-name augmentation;
+* :mod:`repro.data.io` — save/load round trips (npz + jsonl).
+"""
+
+from repro.data.datgen import ClusterRule, RuleBasedGenerator
+from repro.data.dataset import CategoricalDataset
+from repro.data.encoding import (
+    CategoricalEncoder,
+    augment_presence_features,
+    encode_presence_matrix,
+)
+from repro.data.io import load_dataset, load_corpus, save_dataset, save_corpus
+from repro.data.text import Vocabulary, tokenize
+from repro.data.tfidf import TfIdfVectorizer, select_topic_vocabulary
+from repro.data.yahoo import QuestionCorpus, YahooAnswersSynthesizer, corpus_to_dataset
+
+__all__ = [
+    "CategoricalDataset",
+    "RuleBasedGenerator",
+    "ClusterRule",
+    "YahooAnswersSynthesizer",
+    "QuestionCorpus",
+    "corpus_to_dataset",
+    "Vocabulary",
+    "tokenize",
+    "TfIdfVectorizer",
+    "select_topic_vocabulary",
+    "CategoricalEncoder",
+    "encode_presence_matrix",
+    "augment_presence_features",
+    "save_dataset",
+    "load_dataset",
+    "save_corpus",
+    "load_corpus",
+]

@@ -1,0 +1,93 @@
+"""The dataset container shared by generators, experiments and I/O."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["CategoricalDataset"]
+
+
+@dataclass
+class CategoricalDataset:
+    """A categorical clustering dataset with ground-truth labels.
+
+    Attributes
+    ----------
+    X:
+        ``(n_items, n_attributes)`` integer category-code matrix.
+    labels:
+        ``(n_items,)`` ground-truth cluster/class per item.
+    name:
+        Human-readable dataset name (used in reports).
+    metadata:
+        Free-form provenance: generator parameters, vocabulary, etc.
+    """
+
+    X: np.ndarray
+    labels: np.ndarray
+    name: str = "unnamed"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X)
+        self.labels = np.asarray(self.labels)
+        if self.X.ndim != 2:
+            raise DataValidationError(f"X must be 2-D, got ndim={self.X.ndim}")
+        if self.labels.ndim != 1 or len(self.labels) != len(self.X):
+            raise DataValidationError(
+                f"labels must be 1-D with one entry per item; got "
+                f"{self.labels.shape} for {len(self.X)} items"
+            )
+        if not np.issubdtype(self.X.dtype, np.integer):
+            raise DataValidationError(
+                f"X must hold integer category codes, got {self.X.dtype}"
+            )
+
+    @property
+    def n_items(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct ground-truth labels present."""
+        return len(np.unique(self.labels))
+
+    def subsample(self, n: int, seed: int | None = None) -> "CategoricalDataset":
+        """A uniform random subset of ``n`` items (without replacement)."""
+        if not 0 < n <= self.n_items:
+            raise DataValidationError(
+                f"subsample size {n} outside (0, {self.n_items}]"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(self.n_items, size=n, replace=False)
+        return CategoricalDataset(
+            X=self.X[chosen].copy(),
+            labels=self.labels[chosen].copy(),
+            name=f"{self.name}[n={n}]",
+            metadata=dict(self.metadata),
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Summary statistics for logging and reports."""
+        return {
+            "name": self.name,
+            "n_items": self.n_items,
+            "n_attributes": self.n_attributes,
+            "n_classes": self.n_classes,
+            "domain_size": int(self.X.max()) + 1 if self.X.size else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CategoricalDataset(name={self.name!r}, n_items={self.n_items}, "
+            f"n_attributes={self.n_attributes}, n_classes={self.n_classes})"
+        )

@@ -1,0 +1,195 @@
+"""Encoders between raw categorical values and integer code matrices.
+
+Three pieces:
+
+* :class:`CategoricalEncoder` — general string/object matrices to
+  per-column integer codes and back (what a user brings from a CSV);
+* :func:`encode_presence_matrix` — token lists to the paper's binary
+  word-presence matrix (one attribute per vocabulary word);
+* :func:`augment_presence_features` — the paper's ``'zoo-0'/'zoo-1'``
+  feature-name augmentation, which makes presence values distinct
+  across attributes for set-based hashing.  The integer pipeline in
+  :mod:`repro.lsh.tokens` achieves the same effect by offsetting
+  tokens per attribute; this function exists for interoperability and
+  for demonstrating the paper's exact representation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError, NotFittedError
+
+__all__ = [
+    "CategoricalEncoder",
+    "encode_presence_matrix",
+    "augment_presence_features",
+]
+
+
+class CategoricalEncoder:
+    """Per-column mapping of raw categorical values to integer codes.
+
+    Codes are assigned per column in first-seen order.  Unknown values
+    at transform time either raise (default) or map to a reserved code
+    per column (``unknown='code'``).
+
+    Examples
+    --------
+    >>> enc = CategoricalEncoder()
+    >>> codes = enc.fit_transform([["red", "small"], ["blue", "small"]])
+    >>> codes.tolist()
+    [[0, 0], [1, 0]]
+    >>> enc.inverse_transform(codes)[0]
+    ['red', 'small']
+    """
+
+    def __init__(self, unknown: str = "error"):
+        if unknown not in ("error", "code"):
+            raise DataValidationError(
+                f"unknown must be 'error' or 'code', got {unknown!r}"
+            )
+        self.unknown = unknown
+        self._maps: list[dict[object, int]] | None = None
+        self._inverse: list[list[object]] | None = None
+
+    def fit(self, rows: Sequence[Sequence[object]]) -> "CategoricalEncoder":
+        """Learn per-column code maps from raw rows."""
+        rows = list(rows)
+        if not rows:
+            raise DataValidationError("cannot fit an encoder on zero rows")
+        n_cols = len(rows[0])
+        if n_cols == 0:
+            raise DataValidationError("rows must have at least one column")
+        maps: list[dict[object, int]] = [{} for _ in range(n_cols)]
+        inverse: list[list[object]] = [[] for _ in range(n_cols)]
+        for row in rows:
+            if len(row) != n_cols:
+                raise DataValidationError(
+                    f"ragged input: expected {n_cols} columns, got {len(row)}"
+                )
+            for j, value in enumerate(row):
+                if value not in maps[j]:
+                    maps[j][value] = len(inverse[j])
+                    inverse[j].append(value)
+        self._maps = maps
+        self._inverse = inverse
+        return self
+
+    def transform(self, rows: Sequence[Sequence[object]]) -> np.ndarray:
+        """Raw rows → ``(n, m)`` int64 code matrix."""
+        if self._maps is None or self._inverse is None:
+            raise NotFittedError("encoder is not fitted; call fit first")
+        rows = list(rows)
+        n_cols = len(self._maps)
+        out = np.empty((len(rows), n_cols), dtype=np.int64)
+        for i, row in enumerate(rows):
+            if len(row) != n_cols:
+                raise DataValidationError(
+                    f"ragged input: expected {n_cols} columns, got {len(row)}"
+                )
+            for j, value in enumerate(row):
+                code = self._maps[j].get(value)
+                if code is None:
+                    if self.unknown == "error":
+                        raise DataValidationError(
+                            f"unknown value {value!r} in column {j}"
+                        )
+                    code = len(self._inverse[j])  # shared 'unknown' code
+                out[i, j] = code
+        return out
+
+    def fit_transform(self, rows: Sequence[Sequence[object]]) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(rows).transform(rows)
+
+    def inverse_transform(self, codes: np.ndarray) -> list[list[object]]:
+        """Code matrix → raw rows (unknown codes become ``None``)."""
+        if self._maps is None or self._inverse is None:
+            raise NotFittedError("encoder is not fitted; call fit first")
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != len(self._inverse):
+            raise DataValidationError(
+                f"expected shape (n, {len(self._inverse)}), got {codes.shape}"
+            )
+        out: list[list[object]] = []
+        for row in codes:
+            decoded: list[object] = []
+            for j, code in enumerate(row):
+                column = self._inverse[j]
+                decoded.append(column[code] if 0 <= code < len(column) else None)
+            out.append(decoded)
+        return out
+
+    @property
+    def n_columns(self) -> int:
+        if self._maps is None:
+            raise NotFittedError("encoder is not fitted; call fit first")
+        return len(self._maps)
+
+    def domain_sizes(self) -> list[int]:
+        """Number of distinct values seen per column."""
+        if self._inverse is None:
+            raise NotFittedError("encoder is not fitted; call fit first")
+        return [len(col) for col in self._inverse]
+
+
+def encode_presence_matrix(
+    documents: Sequence[Sequence[str]], vocabulary: Sequence[str]
+) -> np.ndarray:
+    """Token lists → binary word-presence matrix (Section IV-B encoding).
+
+    Attribute ``j`` is vocabulary word ``j``; the value is 1 when the
+    word occurs in the document, else 0.  Cluster the result with
+    ``absent_code=0`` so that MinHash sees only present words, as the
+    paper's Algorithm 2 (lines 1-4) prescribes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_documents, len(vocabulary))`` int64 0/1 matrix.
+    """
+    if not vocabulary:
+        raise DataValidationError("vocabulary must be non-empty")
+    word_to_col = {word: j for j, word in enumerate(vocabulary)}
+    if len(word_to_col) != len(vocabulary):
+        raise DataValidationError("vocabulary contains duplicate words")
+    out = np.zeros((len(documents), len(vocabulary)), dtype=np.int64)
+    for i, tokens in enumerate(documents):
+        for token in tokens:
+            col = word_to_col.get(token)
+            if col is not None:
+                out[i, col] = 1
+    return out
+
+
+def augment_presence_features(
+    B: np.ndarray, feature_names: Sequence[str]
+) -> np.ndarray:
+    """The paper's ``'zoo-0'/'zoo-1'`` value augmentation, verbatim.
+
+    MinHash treats items as *sets*, discarding attribute order, so a
+    bare 0/1 value would collide across attributes.  The paper appends
+    the feature name to the value; this function reproduces that
+    string representation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Object array of the same shape holding e.g. ``"zoo-1"``.
+    """
+    B = np.asarray(B)
+    if B.ndim != 2:
+        raise DataValidationError(f"expected 2-D matrix, got ndim={B.ndim}")
+    if B.shape[1] != len(feature_names):
+        raise DataValidationError(
+            f"{B.shape[1]} columns but {len(feature_names)} feature names"
+        )
+    out = np.empty(B.shape, dtype=object)
+    for j, name in enumerate(feature_names):
+        column = B[:, j] != 0
+        out[column, j] = f"{name}-1"
+        out[~column, j] = f"{name}-0"
+    return out

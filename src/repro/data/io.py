@@ -1,0 +1,121 @@
+"""Dataset and corpus persistence.
+
+Datasets round-trip through ``.npz`` (matrices) plus embedded JSON
+metadata; corpora round-trip through JSON-lines, one question per
+line.  Both formats are self-describing and diff-friendly enough for
+experiment artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.yahoo import QuestionCorpus
+from repro.exceptions import DataValidationError
+
+__all__ = ["save_dataset", "load_dataset", "save_corpus", "load_corpus"]
+
+
+def save_dataset(dataset: CategoricalDataset, path: str | Path) -> Path:
+    """Write a dataset to ``<path>`` as compressed npz.
+
+    Metadata is JSON-encoded into the archive, so one file carries the
+    full provenance.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        X=dataset.X,
+        labels=dataset.labels,
+        name=np.str_(dataset.name),
+        metadata=np.str_(json.dumps(dataset.metadata, default=str)),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> CategoricalDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"no such dataset file: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        required = {"X", "labels", "name", "metadata"}
+        missing = required - set(archive.files)
+        if missing:
+            raise DataValidationError(
+                f"{path} is not a repro dataset (missing {sorted(missing)})"
+            )
+        return CategoricalDataset(
+            X=archive["X"],
+            labels=archive["labels"],
+            name=str(archive["name"]),
+            metadata=json.loads(str(archive["metadata"])),
+        )
+
+
+def save_corpus(corpus: QuestionCorpus, path: str | Path) -> Path:
+    """Write a question corpus as JSON-lines.
+
+    The first line is a header object (topic names + metadata); each
+    following line is one question record.
+    """
+    path = Path(path)
+    if path.suffix != ".jsonl":
+        path = path.with_suffix(".jsonl")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "kind": "repro.QuestionCorpus",
+            "topic_names": corpus.topic_names,
+            "metadata": corpus.metadata,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for tokens, topic, true_topic in zip(
+            corpus.questions, corpus.topics, corpus.true_topics
+        ):
+            record = {
+                "tokens": list(tokens),
+                "topic": int(topic),
+                "true_topic": int(true_topic),
+            }
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_corpus(path: str | Path) -> QuestionCorpus:
+    """Read a corpus written by :func:`save_corpus`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataValidationError(f"no such corpus file: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise DataValidationError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("kind") != "repro.QuestionCorpus":
+            raise DataValidationError(f"{path} is not a repro corpus file")
+        questions: list[list[str]] = []
+        topics: list[int] = []
+        true_topics: list[int] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            questions.append(record["tokens"])
+            topics.append(record["topic"])
+            true_topics.append(record["true_topic"])
+    return QuestionCorpus(
+        questions=questions,
+        topics=np.array(topics, dtype=np.int64),
+        true_topics=np.array(true_topics, dtype=np.int64),
+        topic_names=header["topic_names"],
+        metadata=header.get("metadata", {}),
+    )

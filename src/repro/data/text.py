@@ -1,0 +1,106 @@
+"""Tokenisation and vocabulary bookkeeping for the text pipeline.
+
+Deliberately small: the Yahoo! Answers experiments need lower-cased
+word tokens, document frequencies, and a stable word ↔ id mapping.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["tokenize", "Vocabulary"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens of a string.
+
+    Examples
+    --------
+    >>> tokenize("Does a zoologist work only in a Zoo?")
+    ['does', 'a', 'zoologist', 'work', 'only', 'in', 'a', 'zoo']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+class Vocabulary:
+    """Stable word ↔ id mapping with document frequencies.
+
+    Build with :meth:`fit` over token lists, or from a fixed word list
+    with :meth:`from_words`.  Ids are assigned in first-seen order for
+    :meth:`fit` and list order for :meth:`from_words`.
+
+    Examples
+    --------
+    >>> vocab = Vocabulary.from_words(["zoo", "zoologist"])
+    >>> vocab.id_of("zoo")
+    0
+    >>> len(vocab)
+    2
+    """
+
+    def __init__(self) -> None:
+        self._word_to_id: dict[str, int] = {}
+        self._words: list[str] = []
+        self.document_frequency: Counter[str] = Counter()
+        self.n_documents: int = 0
+
+    @classmethod
+    def from_words(cls, words: Sequence[str]) -> "Vocabulary":
+        """Vocabulary over a fixed word list (ids follow list order)."""
+        vocab = cls()
+        for word in words:
+            vocab._add(word)
+        return vocab
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "Vocabulary":
+        """Collect words and document frequencies from token lists."""
+        for tokens in documents:
+            self.n_documents += 1
+            for word in set(tokens):
+                self.document_frequency[word] += 1
+            for word in tokens:
+                if word not in self._word_to_id:
+                    self._add(word)
+        return self
+
+    def _add(self, word: str) -> None:
+        if word in self._word_to_id:
+            raise DataValidationError(f"duplicate word {word!r} in vocabulary")
+        self._word_to_id[word] = len(self._words)
+        self._words.append(word)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def id_of(self, word: str) -> int:
+        """Id of ``word`` (raises ``KeyError`` for unknown words)."""
+        return self._word_to_id[word]
+
+    def word_of(self, word_id: int) -> str:
+        """Word with the given id."""
+        return self._words[word_id]
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_to_id
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def words(self) -> list[str]:
+        """All words in id order (a copy)."""
+        return list(self._words)
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        """Known-word ids of a token list (unknown words are skipped)."""
+        return [self._word_to_id[t] for t in tokens if t in self._word_to_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary(n_words={len(self)}, n_documents={self.n_documents})"

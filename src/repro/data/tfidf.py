@@ -1,0 +1,156 @@
+"""TF-IDF word selection — the Section IV-B pre-processing step.
+
+The paper builds its Yahoo! Answers feature space by treating each
+*topic* as one document (all of its questions concatenated), scoring
+every word with TF-IDF, and keeping the words whose score clears a
+threshold (0.7 for the small feature space, 0.3 for the large one),
+capped at 10 000 words per topic.
+
+Scores here are normalised into [0, 1] so fixed thresholds behave
+comparably across corpora:
+
+    score(w, d) = (tf(w, d) / max_tf(d)) · (log(N / df(w)) / log N)
+
+The first factor is augmented term frequency (1.0 for the most common
+word of the document), the second is idf scaled by its maximum
+``log N`` (1.0 for a word appearing in exactly one document).  Words
+appearing in every document score 0, matching the paper's intuition
+that topic-generic words carry no signal (Equation 7).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.text import Vocabulary
+from repro.exceptions import ConfigurationError, DataValidationError
+
+__all__ = ["TfIdfVectorizer", "select_topic_vocabulary"]
+
+
+class TfIdfVectorizer:
+    """Per-document TF-IDF scores over token-list documents.
+
+    Examples
+    --------
+    >>> docs = [["zoo", "zoo", "animal"], ["tax", "animal"]]
+    >>> vec = TfIdfVectorizer().fit(docs)
+    >>> vec.score("zoo", 0) > vec.score("animal", 0)
+    True
+    """
+
+    def __init__(self) -> None:
+        self.vocabulary: Vocabulary | None = None
+        self._term_counts: list[Counter[str]] = []
+        self._max_tf: list[int] = []
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "TfIdfVectorizer":
+        """Collect term and document frequencies."""
+        if not documents:
+            raise DataValidationError("cannot fit TF-IDF on zero documents")
+        self.vocabulary = Vocabulary().fit(documents)
+        self._term_counts = [Counter(tokens) for tokens in documents]
+        self._max_tf = [
+            max(counts.values()) if counts else 0 for counts in self._term_counts
+        ]
+        return self
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._term_counts)
+
+    def idf(self, word: str) -> float:
+        """Normalised inverse document frequency in [0, 1]."""
+        self._check_fitted()
+        assert self.vocabulary is not None
+        df = self.vocabulary.document_frequency.get(word, 0)
+        if df == 0:
+            return 0.0
+        n = self.n_documents
+        if n <= 1:
+            return 0.0
+        return float(np.log(n / df) / np.log(n))
+
+    def score(self, word: str, document: int) -> float:
+        """Normalised TF-IDF of ``word`` in document ``document``."""
+        self._check_fitted()
+        if not 0 <= document < self.n_documents:
+            raise DataValidationError(
+                f"document {document} out of range [0, {self.n_documents})"
+            )
+        counts = self._term_counts[document]
+        tf = counts.get(word, 0)
+        if tf == 0:
+            return 0.0
+        max_tf = self._max_tf[document]
+        return (tf / max_tf) * self.idf(word)
+
+    def document_scores(self, document: int) -> dict[str, float]:
+        """All non-zero word scores of one document."""
+        self._check_fitted()
+        if not 0 <= document < self.n_documents:
+            raise DataValidationError(
+                f"document {document} out of range [0, {self.n_documents})"
+            )
+        counts = self._term_counts[document]
+        max_tf = self._max_tf[document]
+        if max_tf == 0:
+            return {}
+        return {
+            word: (tf / max_tf) * self.idf(word) for word, tf in counts.items()
+        }
+
+    def _check_fitted(self) -> None:
+        if self.vocabulary is None:
+            raise DataValidationError("TfIdfVectorizer is not fitted; call fit")
+
+
+def select_topic_vocabulary(
+    topic_documents: Sequence[Sequence[str]],
+    threshold: float,
+    max_words_per_topic: int = 10_000,
+) -> list[str]:
+    """The paper's vocabulary selection (Section IV-B).
+
+    Each entry of ``topic_documents`` is one topic's concatenated token
+    stream.  Every topic contributes its words scoring above
+    ``threshold`` (up to ``max_words_per_topic``, highest scores
+    first); the union, sorted for determinism, is the vocabulary.
+
+    The paper uses ``threshold=0.7`` (→ 382 attributes) and ``0.3``
+    (→ 2881 attributes) on the real corpus; lowering the threshold
+    grows the vocabulary the same way here.
+
+    Parameters
+    ----------
+    topic_documents:
+        One token list per topic.
+    threshold:
+        Minimum normalised TF-IDF score, in (0, 1].
+    max_words_per_topic:
+        Cap on words contributed by a single topic.
+
+    Returns
+    -------
+    list[str]
+        Sorted vocabulary words.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(f"threshold must be in (0, 1], got {threshold}")
+    if max_words_per_topic <= 0:
+        raise ConfigurationError(
+            f"max_words_per_topic must be positive, got {max_words_per_topic}"
+        )
+    vectorizer = TfIdfVectorizer().fit(topic_documents)
+    selected: set[str] = set()
+    for doc_idx in range(vectorizer.n_documents):
+        scores = vectorizer.document_scores(doc_idx)
+        passing = sorted(
+            (word for word, s in scores.items() if s >= threshold),
+            key=lambda w: (-scores[w], w),
+        )
+        selected.update(passing[:max_words_per_topic])
+    return sorted(selected)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  More specific subclasses exist for configuration problems
+(bad parameters), data problems (malformed or empty inputs), and
+convergence problems (an iterative algorithm that cannot proceed).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DataValidationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "EmptyClusterError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An estimator or index was constructed with invalid parameters.
+
+    Raised eagerly, at construction or fit time, so that a bad ``bands``
+    / ``rows`` / ``n_clusters`` combination fails loudly instead of
+    producing silently meaningless results.
+    """
+
+
+class DataValidationError(ReproError, ValueError):
+    """Input data does not satisfy the contract of the API being called.
+
+    Examples: an empty dataset, a non-2D matrix passed where items ×
+    attributes is required, or mismatched shapes between data and labels.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model attribute or method was used before ``fit`` completed."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed in a way that cannot be recovered.
+
+    This is *not* raised when an algorithm merely hits ``max_iter`` —
+    that is a normal, reported outcome — but when the internal state
+    becomes inconsistent (for instance, every cluster lost its members).
+    """
+
+
+class EmptyClusterError(ReproError, RuntimeError):
+    """A cluster lost all members and the configured policy is ``'error'``."""

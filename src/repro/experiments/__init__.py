@@ -1,0 +1,70 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.configs` — one config per experiment, scaled
+  from the paper's multi-day testbed runs to laptop size while keeping
+  the item : cluster : attribute ratios (the claims under test are
+  shape claims — who wins, by what factor, which trends hold);
+* :mod:`repro.experiments.runner` — executes a config: same initial
+  centroids across all algorithm variants (the paper's protocol),
+  returning per-variant :class:`~repro.experiments.runner.RunResult`;
+* :mod:`repro.experiments.report` — renders the paper-style series
+  and summary tables as text.
+"""
+
+from repro.experiments.configs import (
+    ALL_SYNTHETIC_CONFIGS,
+    ALL_YAHOO_CONFIGS,
+    EXPERIMENTS,
+    FIG2,
+    FIG3,
+    FIG4,
+    FIG5,
+    FIG5_XL,
+    FIG9,
+    FIG10,
+    SyntheticConfig,
+    VariantSpec,
+    YahooConfig,
+    baseline,
+    mh,
+)
+from repro.experiments.runner import (
+    ComparisonResult,
+    RunResult,
+    run_comparison,
+    run_synthetic_experiment,
+    run_yahoo_experiment,
+    scaling_study,
+)
+from repro.experiments.report import (
+    render_comparison_summary,
+    render_probability_table,
+    render_series_table,
+)
+
+__all__ = [
+    "VariantSpec",
+    "SyntheticConfig",
+    "YahooConfig",
+    "baseline",
+    "mh",
+    "EXPERIMENTS",
+    "FIG2",
+    "FIG3",
+    "FIG4",
+    "FIG5",
+    "FIG5_XL",
+    "FIG9",
+    "FIG10",
+    "ALL_SYNTHETIC_CONFIGS",
+    "ALL_YAHOO_CONFIGS",
+    "RunResult",
+    "ComparisonResult",
+    "run_comparison",
+    "run_synthetic_experiment",
+    "run_yahoo_experiment",
+    "scaling_study",
+    "render_series_table",
+    "render_comparison_summary",
+    "render_probability_table",
+]

@@ -1,0 +1,229 @@
+"""One config per paper experiment, scaled to laptop size.
+
+Scaling rationale (documented per experiment in EXPERIMENTS.md): the
+paper's runs took hundreds of hours on a 2016 Xeon; the claims its
+figures support are *relative* — MH-K-Modes vs K-Modes per-iteration
+time, shortlist size vs k, convergence speed, and how these trends
+move with n, k and m.  Those relations survive a proportional
+shrinking of (n, k, m) because both algorithms shrink identically.
+We keep the paper's item:cluster ratio (90 000 : 20 000 = 4.5 : 1) and
+its 2× / proportional steps between experiments.
+
+| figure | paper (n × m × k)      | here (n × m × k)   |
+|--------|------------------------|--------------------|
+| Fig 2  | 90 000 × 100 × 20 000  | 4 000 × 60 × 800   |
+| Fig 3  | 90 000 × 100 × 40 000  | 4 000 × 60 × 1 600 |
+| Fig 4  | 250 000 × 100 × 20 000 | 11 000 × 60 × 800  |
+| Fig 5  | 90 000 × 200 × 20 000  | 4 000 × 120 × 800  |
+| Fig 6c | + 90 000 × 400 × 20 000| + 4 000 × 240 × 800|
+| Fig 9  | 81 036 × 382 × 2 916 (tf-idf 0.7) | 4 000 q × ~250 × 300 |
+| Fig 10 | 157 602 × 2 881 × 2 916 (tf-idf 0.3) | 6 000 q × ~1 200 × 300 |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "VariantSpec",
+    "SyntheticConfig",
+    "YahooConfig",
+    "baseline",
+    "mh",
+    "FIG2",
+    "FIG3",
+    "FIG4",
+    "FIG5",
+    "FIG5_XL",
+    "FIG9",
+    "FIG10",
+    "ALL_SYNTHETIC_CONFIGS",
+    "ALL_YAHOO_CONFIGS",
+    "EXPERIMENTS",
+]
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One algorithm variant in a comparison.
+
+    ``bands is None`` denotes the exhaustive baseline (K-Modes); any
+    other value denotes MH-K-Modes with that banding.
+    """
+
+    bands: int | None
+    rows: int | None
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.bands is None
+
+    @property
+    def label(self) -> str:
+        if self.is_baseline:
+            return "K-Modes"
+        return f"MH-K-Modes {self.bands}b {self.rows}r"
+
+
+def baseline() -> VariantSpec:
+    """The exhaustive K-Modes variant."""
+    return VariantSpec(bands=None, rows=None)
+
+
+def mh(bands: int, rows: int) -> VariantSpec:
+    """An MH-K-Modes variant with the given banding."""
+    return VariantSpec(bands=bands, rows=rows)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """A datgen-style synthetic experiment (Figures 2-8).
+
+    Attributes mirror :class:`repro.data.datgen.RuleBasedGenerator`
+    plus the algorithm variants to compare.
+    """
+
+    exp_id: str
+    description: str
+    n_items: int
+    n_attributes: int
+    n_clusters: int
+    variants: tuple[VariantSpec, ...]
+    domain_size: int = 40_000
+    rule_width_fraction: tuple[float, float] = (0.4, 0.8)
+    # A mild corruption of rule attributes keeps items contested between
+    # clusters so the runs converge over several iterations, like the
+    # paper's (K-Modes: 12 iterations in Figure 2); noise-free rule data
+    # converges in 2-3 iterations at laptop scale and nothing amortises.
+    noise_rate: float = 0.1
+    max_iter: int = 12
+    seed: int = 2016
+
+    def scaled(self, **overrides) -> "SyntheticConfig":
+        """A copy with some fields replaced (for scaling studies)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class YahooConfig:
+    """A Yahoo!-Answers-style experiment (Figures 9-10)."""
+
+    exp_id: str
+    description: str
+    n_questions: int
+    n_topics: int
+    tfidf_threshold: float
+    variants: tuple[VariantSpec, ...]
+    max_iter: int = 10
+    seed: int = 2016
+
+
+# ----------------------------------------------------------------------
+# the paper's experiments
+# ----------------------------------------------------------------------
+
+FIG2 = SyntheticConfig(
+    exp_id="fig2",
+    description=(
+        "Varying clusters, base case (paper: 90k items, 100 attrs, 20k "
+        "clusters; Figures 2a-2e, 7a, 8a)"
+    ),
+    n_items=4_000,
+    n_attributes=60,
+    n_clusters=800,
+    variants=(mh(20, 2), mh(20, 5), mh(50, 5), baseline()),
+)
+
+FIG3 = SyntheticConfig(
+    exp_id="fig3",
+    description=(
+        "Doubled clusters (paper: 90k items, 100 attrs, 40k clusters; "
+        "Figures 3a-3d, 7d, 8d)"
+    ),
+    n_items=4_000,
+    n_attributes=60,
+    n_clusters=1_600,
+    variants=(mh(20, 2), mh(20, 5), mh(50, 5), baseline()),
+)
+
+FIG4 = SyntheticConfig(
+    exp_id="fig4",
+    description=(
+        "More items (paper: 250k items, 100 attrs, 20k clusters; "
+        "Figures 4a-4c, 7e, 8e)"
+    ),
+    n_items=11_000,
+    n_attributes=60,
+    n_clusters=800,
+    variants=(mh(1, 1), mh(20, 5), baseline()),
+)
+
+FIG5 = SyntheticConfig(
+    exp_id="fig5",
+    description=(
+        "Doubled attributes (paper: 90k items, 200 attrs, 20k clusters; "
+        "Figures 5a-5b, 7b, 8b)"
+    ),
+    n_items=4_000,
+    n_attributes=120,
+    n_clusters=800,
+    variants=(mh(20, 5), mh(50, 5), baseline()),
+)
+
+FIG5_XL = SyntheticConfig(
+    exp_id="fig5xl",
+    description=(
+        "Quadrupled attributes (paper: 90k items, 400 attrs, 20k "
+        "clusters; Figures 6c, 7c, 8c)"
+    ),
+    n_items=4_000,
+    n_attributes=240,
+    n_clusters=800,
+    variants=(mh(20, 5), mh(50, 5), baseline()),
+)
+
+FIG9 = YahooConfig(
+    exp_id="fig9",
+    description=(
+        "Yahoo! Answers, TF-IDF threshold 0.7 (paper: 81 036 questions, "
+        "382 attrs, 2 916 topics; Figures 9a-9e)"
+    ),
+    n_questions=4_000,
+    n_topics=300,
+    tfidf_threshold=0.7,
+    variants=(mh(1, 1), baseline()),
+    max_iter=8,
+)
+
+FIG10 = YahooConfig(
+    exp_id="fig10",
+    description=(
+        "Yahoo! Answers, TF-IDF threshold 0.3 (paper: 157 602 questions, "
+        "2 881 attrs, 2 916 topics, max 10 iterations; Figures 10a-10d)"
+    ),
+    n_questions=5_000,
+    n_topics=300,
+    tfidf_threshold=0.3,
+    variants=(mh(1, 1), mh(20, 5), mh(50, 5), baseline()),
+    max_iter=10,
+)
+
+#: The five synthetic datasets of Section IV-A (Figures 7 and 8 iterate
+#: over exactly these).
+ALL_SYNTHETIC_CONFIGS: tuple[SyntheticConfig, ...] = (
+    FIG2,
+    FIG3,
+    FIG4,
+    FIG5,
+    FIG5_XL,
+)
+
+ALL_YAHOO_CONFIGS: tuple[YahooConfig, ...] = (FIG9, FIG10)
+
+#: Master index: experiment id → config, for CLI and benchmarks.
+EXPERIMENTS: dict[str, SyntheticConfig | YahooConfig] = {
+    config.exp_id: config
+    for config in (*ALL_SYNTHETIC_CONFIGS, *ALL_YAHOO_CONFIGS)
+}

@@ -1,0 +1,171 @@
+"""Plain-text rendering of the paper-style result tables.
+
+Every figure of the paper is a line or bar chart; on a terminal the
+same information reads best as aligned columns.  Three renderers cover
+the three shapes that occur:
+
+* :func:`render_series_table` — per-iteration series (time, shortlist
+  size, moves), one column per algorithm variant — Figures 2-5, 9, 10;
+* :func:`render_comparison_summary` — one row per variant with totals,
+  speedups and purity — Figures 6-8 and the headline claims;
+* :func:`render_probability_table` — the analytic Tables I and II.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from repro.experiments.runner import ComparisonResult
+
+__all__ = [
+    "render_series_table",
+    "render_comparison_summary",
+    "render_probability_table",
+    "format_table",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Align ``rows`` under ``headers`` with a separator line."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+_SERIES_FIELDS = {
+    "duration_s": ("Time per iteration (s)", "{:.3f}"),
+    "moves": ("Moves per iteration", "{:d}"),
+    "mean_shortlist": ("Avg. clusters returned", "{:.2f}"),
+    "cost": ("Cost P(W,Q)", "{:.0f}"),
+}
+
+
+def render_series_table(comparison: ComparisonResult, fieldname: str) -> str:
+    """Per-iteration series of every variant, iterations as rows.
+
+    Parameters
+    ----------
+    comparison:
+        A finished experiment.
+    fieldname:
+        One of ``'duration_s'``, ``'moves'``, ``'mean_shortlist'``,
+        ``'cost'`` — matching the paper's y-axes.
+    """
+    if fieldname not in _SERIES_FIELDS:
+        raise ValueError(
+            f"unknown series field {fieldname!r}; choose from "
+            f"{sorted(_SERIES_FIELDS)}"
+        )
+    title, fmt = _SERIES_FIELDS[fieldname]
+    labels = list(comparison.results)
+    longest = max(
+        result.stats.n_iterations for result in comparison.results.values()
+    )
+    rows = []
+    for iteration in range(longest):
+        row: list[Any] = [iteration + 1]
+        for label in labels:
+            iterations = comparison.results[label].stats.iterations
+            if iteration < len(iterations):
+                value = getattr(iterations[iteration], fieldname)
+                if fieldname == "moves":
+                    row.append(fmt.format(int(value)))
+                else:
+                    row.append(fmt.format(value))
+            else:
+                row.append("-")  # this variant converged earlier
+        rows.append(row)
+    header = [f"{comparison.exp_id}: {title}"]
+    return (
+        header[0]
+        + "\n"
+        + format_table(["iter"] + labels, rows)
+    )
+
+
+def render_comparison_summary(comparison: ComparisonResult) -> str:
+    """One row per variant: totals, speedup vs baseline, purity, NMI."""
+    try:
+        baseline_total = comparison.baseline.total_time_s
+        baseline_iter = comparison.baseline.stats.mean_iteration_s
+    except KeyError:
+        baseline_total = float("nan")
+        baseline_iter = float("nan")
+    rows = []
+    for result in comparison.results.values():
+        summary = result.summary()
+        speedup_total = (
+            baseline_total / result.total_time_s if result.total_time_s else 0.0
+        )
+        speedup_iter = (
+            baseline_iter / result.stats.mean_iteration_s
+            if result.stats.mean_iteration_s
+            else 0.0
+        )
+        rows.append(
+            [
+                summary["algorithm"],
+                summary["iterations"],
+                "yes" if summary["converged"] else "no",
+                f"{summary['setup_s']:.3f}",
+                f"{summary['mean_iter_s']:.3f}",
+                f"{summary['total_s']:.3f}",
+                f"{speedup_total:.2f}x",
+                f"{speedup_iter:.2f}x",
+                f"{summary['mean_shortlist']:.2f}",
+                f"{summary['purity']:.3f}",
+                f"{summary['nmi']:.3f}",
+            ]
+        )
+    info = comparison.dataset_info
+    title = (
+        f"{comparison.exp_id}: n={info.get('n_items')} "
+        f"m={info.get('n_attributes')} classes={info.get('n_classes')}"
+    )
+    return (
+        title
+        + "\n"
+        + format_table(
+            [
+                "algorithm",
+                "iters",
+                "conv",
+                "setup_s",
+                "iter_s",
+                "total_s",
+                "speedup",
+                "iter_speedup",
+                "shortlist",
+                "purity",
+                "nmi",
+            ],
+            rows,
+        )
+    )
+
+
+def render_probability_table(table: list[dict[str, float]], title: str) -> str:
+    """Render a Table I / Table II probability grid."""
+    rows = [
+        [
+            int(entry["bands"]),
+            f"{entry['similarity']:g}",
+            f"{entry['pair_probability']:.4g}",
+            f"{entry['mh_kmodes_probability']:.4g}",
+        ]
+        for entry in table
+    ]
+    return (
+        title
+        + "\n"
+        + format_table(
+            ["Bands", "Jaccard-similarity", "Probability", "MH-K-Modes Probability"],
+            rows,
+        )
+    )

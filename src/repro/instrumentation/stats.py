@@ -1,0 +1,163 @@
+"""Per-iteration run statistics — the raw material of every figure.
+
+Each clustering run produces a :class:`RunStats` holding one
+:class:`IterationStats` per iteration.  The fields mirror the y-axes of
+the paper's figures:
+
+* ``duration_s``    → Figures 2a, 3a/3b, 4c, 5a, 9a, 10a (time per iteration)
+* ``moves``         → Figures 2c, 3d, 4b, 9c, 10d (cluster reassignments)
+* ``mean_shortlist``→ Figures 2b, 3c, 4a, 5b, 9b, 10c (avg clusters returned)
+* totals            → Figures 6, 7, 9d, 10b (total time to cluster)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IterationStats", "RunStats"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Measurements from a single assign-and-update iteration.
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration number.
+    duration_s:
+        Wall-clock seconds spent on this iteration (assignment +
+        mode/centroid update).
+    moves:
+        Number of items that changed cluster during the assignment step.
+    cost:
+        Value of the clustering cost function P(W, Q) after the
+        iteration (``nan`` when cost tracking is disabled).
+    mean_shortlist:
+        Average number of candidate clusters examined per item.  For an
+        exhaustive algorithm this equals the number of clusters.
+    n_empty_clusters:
+        Clusters that ended the iteration with no members.
+    """
+
+    iteration: int
+    duration_s: float
+    moves: int
+    cost: float
+    mean_shortlist: float
+    n_empty_clusters: int = 0
+
+
+@dataclass
+class RunStats:
+    """Everything measured over one clustering run.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable label, e.g. ``"K-Modes"`` or
+        ``"MH-K-Modes 20b 5r"``.
+    setup_s:
+        One-off setup cost before iterations start.  For MH-K-Modes
+        this is the initial MinHash indexing pass the paper counts in
+        the total clustering time.
+    iterations:
+        One entry per completed iteration.
+    converged:
+        True when the run stopped because no item moved (rather than
+        hitting ``max_iter``).
+    """
+
+    algorithm: str = ""
+    setup_s: float = 0.0
+    iterations: list[IterationStats] = field(default_factory=list)
+    converged: bool = False
+
+    def record(
+        self,
+        duration_s: float,
+        moves: int,
+        cost: float = float("nan"),
+        mean_shortlist: float = float("nan"),
+        n_empty_clusters: int = 0,
+    ) -> IterationStats:
+        """Append one iteration's measurements and return the record."""
+        stats = IterationStats(
+            iteration=len(self.iterations) + 1,
+            duration_s=float(duration_s),
+            moves=int(moves),
+            cost=float(cost),
+            mean_shortlist=float(mean_shortlist),
+            n_empty_clusters=int(n_empty_clusters),
+        )
+        self.iterations.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # aggregates used by the figures
+    # ------------------------------------------------------------------
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def iteration_times(self) -> list[float]:
+        """Per-iteration wall times (Figure 2a and friends)."""
+        return [it.duration_s for it in self.iterations]
+
+    @property
+    def moves_per_iteration(self) -> list[int]:
+        """Per-iteration reassignment counts (Figure 2c and friends)."""
+        return [it.moves for it in self.iterations]
+
+    @property
+    def shortlist_sizes(self) -> list[float]:
+        """Per-iteration mean shortlist sizes (Figure 2b and friends)."""
+        return [it.mean_shortlist for it in self.iterations]
+
+    @property
+    def costs(self) -> list[float]:
+        return [it.cost for it in self.iterations]
+
+    @property
+    def total_time_s(self) -> float:
+        """Setup plus all iterations — the paper's 'total time to cluster'."""
+        return self.setup_s + sum(it.duration_s for it in self.iterations)
+
+    @property
+    def mean_iteration_s(self) -> float:
+        if not self.iterations:
+            return 0.0
+        return sum(it.duration_s for it in self.iterations) / len(self.iterations)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(it.moves for it in self.iterations)
+
+    def to_rows(self) -> list[dict[str, float]]:
+        """Flatten into one dict per iteration (for reports and CSVs)."""
+        return [
+            {
+                "algorithm": self.algorithm,
+                "iteration": it.iteration,
+                "duration_s": it.duration_s,
+                "moves": it.moves,
+                "cost": it.cost,
+                "mean_shortlist": it.mean_shortlist,
+                "n_empty_clusters": it.n_empty_clusters,
+            }
+            for it in self.iterations
+        ]
+
+    def summary(self) -> dict[str, float]:
+        """One-line aggregate used in comparison tables."""
+        return {
+            "algorithm": self.algorithm,
+            "n_iterations": self.n_iterations,
+            "setup_s": self.setup_s,
+            "total_s": self.total_time_s,
+            "mean_iteration_s": self.mean_iteration_s,
+            "total_moves": self.total_moves,
+            "converged": self.converged,
+        }

@@ -1,0 +1,19 @@
+"""Numeric clustering: K-Means, mini-batch K-Means, and LSH-K-Means.
+
+The paper's Further Work section proposes extending the LSH
+acceleration framework "to work with not only categorical data, but
+numeric data".  This package delivers that extension:
+
+* :mod:`repro.kmeans.kmeans` — Lloyd's K-Means (exhaustive baseline);
+* :mod:`repro.kmeans.minibatch` — Sculley's web-scale mini-batch
+  K-Means, the related-work baseline the paper cites ([16]);
+* :mod:`repro.kmeans.mh_kmeans` — :class:`LSHKMeans`, the framework
+  instantiated with SimHash (cosine) or p-stable (Euclidean) hashing
+  instead of MinHash.
+"""
+
+from repro.kmeans.kmeans import KMeans
+from repro.kmeans.minibatch import MiniBatchKMeans
+from repro.kmeans.mh_kmeans import LSHKMeans
+
+__all__ = ["KMeans", "MiniBatchKMeans", "LSHKMeans"]

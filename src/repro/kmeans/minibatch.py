@@ -1,0 +1,168 @@
+"""Mini-batch K-Means (Sculley, WWW 2010) — related-work baseline [16].
+
+The paper's related work cites mini-batch K-Means as the other route
+to web-scale clustering: trade assignment exactness for per-iteration
+cost by updating centroids from small random batches with per-centroid
+learning rates ``1/count``.  Including it lets the benchmarks compare
+the paper's *search-space reduction* against the *sampling* approach
+on the same substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.instrumentation import RunStats, Timer
+from repro.kmeans.kmeans import _squared_distances
+
+__all__ = ["MiniBatchKMeans"]
+
+
+class MiniBatchKMeans:
+    """Sculley-style mini-batch K-Means.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters k.
+    batch_size:
+        Items sampled per iteration.
+    max_iter:
+        Number of mini-batch iterations (there is no natural
+        convergence test; the standard practice of a fixed budget is
+        used, with an optional early stop on centroid movement).
+    tol:
+        Early-stop threshold on the mean squared centroid displacement
+        per iteration; set to 0 to disable.
+    seed:
+        Seed for initial centroids and batch sampling.
+
+    Attributes
+    ----------
+    centroids_, labels_, cost_, n_iter_, stats_:
+        ``labels_``/``cost_`` come from one final full assignment pass.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        batch_size: int = 256,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | None = None,
+    ):
+        if n_clusters <= 0:
+            raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        if max_iter <= 0:
+            raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
+        if tol < 0:
+            raise ConfigurationError(f"tol must be non-negative, got {tol}")
+        self.n_clusters = int(n_clusters)
+        self.batch_size = int(batch_size)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+
+        self.centroids_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.cost_: float = float("nan")
+        self.n_iter_: int = 0
+        self.converged_: bool = False
+        self.stats_: RunStats | None = None
+
+    def fit(
+        self, X: np.ndarray, initial_centroids: np.ndarray | None = None
+    ) -> "MiniBatchKMeans":
+        """Run the mini-batch optimisation on ``X``."""
+        X = self._validate_X(X)
+        n = X.shape[0]
+        rng = np.random.default_rng(self.seed)
+        if initial_centroids is not None:
+            centroids = np.asarray(initial_centroids, dtype=np.float64)
+            if centroids.shape != (self.n_clusters, X.shape[1]):
+                raise DataValidationError(
+                    f"initial_centroids shape {centroids.shape} != "
+                    f"({self.n_clusters}, {X.shape[1]})"
+                )
+            centroids = centroids.copy()
+        else:
+            if self.n_clusters > n:
+                raise ConfigurationError(
+                    f"n_clusters={self.n_clusters} exceeds n_items={n}"
+                )
+            centroids = X[rng.choice(n, self.n_clusters, replace=False)].copy()
+
+        counts = np.zeros(self.n_clusters, dtype=np.int64)
+        stats = RunStats(algorithm=f"MiniBatch-K-Means b{self.batch_size}")
+        converged = False
+        batch = min(self.batch_size, n)
+
+        for _ in range(self.max_iter):
+            with Timer() as timer:
+                previous = centroids.copy()
+                sample = rng.choice(n, size=batch, replace=False)
+                points = X[sample]
+                nearest = np.argmin(_squared_distances(points, centroids), axis=1)
+                # Per-centre gradient step with learning rate 1/count.
+                for point, centre in zip(points, nearest):
+                    counts[centre] += 1
+                    eta = 1.0 / counts[centre]
+                    centroids[centre] += eta * (point - centroids[centre])
+                shift = float(np.mean((centroids - previous) ** 2))
+            stats.record(
+                duration_s=timer.elapsed_s,
+                moves=batch,
+                cost=float("nan"),
+                mean_shortlist=float(self.n_clusters),
+            )
+            if self.tol > 0.0 and shift < self.tol:
+                converged = True
+                break
+
+        # Final full pass for labels and cost.
+        distances = _squared_distances(X, centroids)
+        labels = np.argmin(distances, axis=1)
+        stats.converged = converged
+        self.centroids_ = centroids
+        self.labels_ = labels
+        self.cost_ = float(distances[np.arange(n), labels].sum())
+        self.n_iter_ = stats.n_iterations
+        self.converged_ = converged
+        self.stats_ = stats
+        return self
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Fit and return the training labels."""
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign new points to the nearest fitted centroid."""
+        if self.centroids_ is None:
+            raise NotFittedError("call fit before predict")
+        X = self._validate_X(X)
+        if X.shape[1] != self.centroids_.shape[1]:
+            raise DataValidationError(
+                f"X has {X.shape[1]} features but the model was fitted "
+                f"with {self.centroids_.shape[1]}"
+            )
+        return np.argmin(_squared_distances(X, self.centroids_), axis=1)
+
+    def _validate_X(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.size == 0:
+            raise DataValidationError("X must be a non-empty 2-D matrix")
+        if not np.all(np.isfinite(X)):
+            raise DataValidationError("X contains NaN or infinite values")
+        return X
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MiniBatchKMeans(n_clusters={self.n_clusters}, "
+            f"batch_size={self.batch_size}, max_iter={self.max_iter}, "
+            f"seed={self.seed})"
+        )

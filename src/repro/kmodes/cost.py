@@ -1,0 +1,52 @@
+"""The K-Modes cost function P(W, Q) — Equation 4 of the paper.
+
+P(W, Q) is the total matching distance between every item and the mode
+of its assigned cluster.  Batch K-Modes monotonically decreases this
+quantity: the assignment step is optimal for fixed modes, and the mode
+update is optimal for fixed assignments (Equation 3's minimiser).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+
+__all__ = ["clustering_cost"]
+
+
+def clustering_cost(X: np.ndarray, modes: np.ndarray, labels: np.ndarray) -> int:
+    """Total mismatch count between items and their cluster modes.
+
+    Parameters
+    ----------
+    X:
+        ``(n, m)`` categorical code matrix.
+    modes:
+        ``(k, m)`` mode matrix.
+    labels:
+        ``(n,)`` cluster id per item, each in ``[0, k)``.
+
+    Returns
+    -------
+    int
+        P(W, Q); ranges from 0 (every item equals its mode) to n·m.
+    """
+    X = np.asarray(X)
+    modes = np.asarray(modes)
+    labels = np.asarray(labels)
+    if X.ndim != 2 or modes.ndim != 2 or X.shape[1] != modes.shape[1]:
+        raise DataValidationError(
+            f"incompatible shapes: X {X.shape}, modes {modes.shape}"
+        )
+    if labels.shape != (X.shape[0],):
+        raise DataValidationError(
+            f"labels shape {labels.shape} != ({X.shape[0]},)"
+        )
+    if labels.size == 0:
+        return 0
+    if labels.min() < 0 or labels.max() >= modes.shape[0]:
+        raise DataValidationError(
+            f"labels outside [0, {modes.shape[0]})"
+        )
+    return int(np.count_nonzero(X != modes[labels]))

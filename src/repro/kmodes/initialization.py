@@ -1,0 +1,132 @@
+"""Centroid initialisation methods for K-Modes.
+
+The paper evaluates with **random selection of k distinct items**
+(Section IV-A: "we will randomly select the k initial centroids"),
+holding the selection fixed across algorithm variants so initialisation
+cannot influence the comparison.  Huang's frequency-based method and
+Cao's density-based method are provided as well since the paper cites
+both ([3], [22]) as alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.kmodes.dissimilarity import pairwise_matching
+
+__all__ = ["random_init", "huang_init", "cao_init", "resolve_init"]
+
+
+def _validate(X: np.ndarray, n_clusters: int) -> np.ndarray:
+    X = np.asarray(X)
+    if X.ndim != 2 or X.size == 0:
+        raise DataValidationError("X must be a non-empty 2-D matrix")
+    if n_clusters <= 0:
+        raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
+    if n_clusters > X.shape[0]:
+        raise ConfigurationError(
+            f"n_clusters={n_clusters} exceeds the number of items {X.shape[0]}"
+        )
+    return X
+
+
+def random_init(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose k distinct items uniformly at random as the initial modes.
+
+    This is the method the paper uses in all experiments.
+    """
+    X = _validate(X, n_clusters)
+    chosen = rng.choice(X.shape[0], size=n_clusters, replace=False)
+    return X[chosen].copy()
+
+
+def huang_init(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Huang's frequency-based initialisation.
+
+    Each seed mode samples every attribute proportionally to the
+    attribute's category frequencies, then is replaced by the most
+    similar actual item (distinct items across seeds where possible) so
+    that modes correspond to real records.
+    """
+    X = _validate(X, n_clusters)
+    n, m = X.shape
+    seeds = np.empty((n_clusters, m), dtype=X.dtype)
+    for j in range(m):
+        values, counts = np.unique(X[:, j], return_counts=True)
+        seeds[:, j] = rng.choice(values, size=n_clusters, p=counts / counts.sum())
+    # Snap each synthetic seed to its nearest real item.
+    distances = pairwise_matching(seeds, X)
+    taken: set[int] = set()
+    modes = np.empty_like(seeds)
+    for i in range(n_clusters):
+        for candidate in np.argsort(distances[i], kind="stable"):
+            if int(candidate) not in taken:
+                taken.add(int(candidate))
+                modes[i] = X[candidate]
+                break
+        else:  # more seeds than items — cannot happen after _validate
+            modes[i] = X[int(np.argmin(distances[i]))]
+    return modes
+
+
+def cao_init(
+    X: np.ndarray, n_clusters: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Cao, Liang & Bai (2009) density-based initialisation.
+
+    The first mode is the item of greatest density (average relative
+    frequency of its attribute values); each subsequent mode maximises
+    ``density(x) · min-distance-to-chosen-modes``, balancing centrality
+    against separation.  Deterministic given the data.
+    """
+    X = _validate(X, n_clusters)
+    n, m = X.shape
+    density = np.zeros(n, dtype=np.float64)
+    for j in range(m):
+        values, inverse, counts = np.unique(
+            X[:, j], return_inverse=True, return_counts=True
+        )
+        density += counts[inverse]
+    density /= n * m
+
+    chosen = [int(np.argmax(density))]
+    # Distance of every item to its nearest already-chosen mode.
+    min_dist = np.count_nonzero(X != X[chosen[0]][None, :], axis=1).astype(np.float64)
+    while len(chosen) < n_clusters:
+        score = density * min_dist
+        score[chosen] = -np.inf
+        nxt = int(np.argmax(score))
+        chosen.append(nxt)
+        dist_new = np.count_nonzero(X != X[nxt][None, :], axis=1).astype(np.float64)
+        np.minimum(min_dist, dist_new, out=min_dist)
+    return X[np.array(chosen)].copy()
+
+
+_METHODS: dict[str, Callable[..., np.ndarray]] = {
+    "random": random_init,
+    "huang": huang_init,
+    "cao": cao_init,
+}
+
+
+def resolve_init(method: str) -> Callable[..., np.ndarray]:
+    """Look up an initialisation function by name.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown method names.
+    """
+    key = method.lower()
+    if key not in _METHODS:
+        raise ConfigurationError(
+            f"unknown init method {method!r}; available: {sorted(_METHODS)}"
+        )
+    return _METHODS[key]

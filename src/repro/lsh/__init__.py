@@ -1,0 +1,57 @@
+"""Locality sensitive hashing substrate.
+
+This package implements everything the paper's framework needs from
+LSH, built from scratch:
+
+* :mod:`repro.lsh.hashing` — universal integer hash families that
+  simulate the random permutations of MinHash (``h(x) = (a·x + b) mod p``).
+* :mod:`repro.lsh.tokens` — a compact CSR-style container for the
+  variable-length token sets that MinHash consumes.
+* :mod:`repro.lsh.minhash` — MinHash signature generation
+  (Algorithm 1 of the paper), vectorised over whole datasets.
+* :mod:`repro.lsh.bands` — banding of signatures into ``b`` bands of
+  ``r`` rows and hashing each band to a bucket key (the LSH step).
+* :mod:`repro.lsh.index` — the clustered LSH index of Algorithm 2:
+  buckets of items, each item carrying a mutable cluster reference.
+* :mod:`repro.lsh.families` — a small protocol + registry so the
+  clustering framework can swap MinHash for other LSH families.
+* :mod:`repro.lsh.simhash` / :mod:`repro.lsh.pstable` — LSH families
+  for cosine and Euclidean similarity, used by the numeric-data
+  extension the paper lists as further work.
+"""
+
+from repro.lsh.bands import band_probability, compute_band_keys, threshold_similarity
+from repro.lsh.families import LSHFamily, available_families, get_family, register_family
+from repro.lsh.hashing import (
+    MERSENNE_PRIME_31,
+    UniversalHashFamily,
+    splitmix64,
+    stable_string_hash,
+)
+from repro.lsh.index import ClusteredLSHIndex, IndexStats
+from repro.lsh.minhash import EMPTY_SLOT, MinHasher
+from repro.lsh.pstable import PStableHasher
+from repro.lsh.simhash import SimHasher
+from repro.lsh.tokens import TokenSets, encode_categorical_tokens
+
+__all__ = [
+    "MERSENNE_PRIME_31",
+    "UniversalHashFamily",
+    "splitmix64",
+    "stable_string_hash",
+    "TokenSets",
+    "encode_categorical_tokens",
+    "MinHasher",
+    "EMPTY_SLOT",
+    "compute_band_keys",
+    "band_probability",
+    "threshold_similarity",
+    "ClusteredLSHIndex",
+    "IndexStats",
+    "LSHFamily",
+    "register_family",
+    "get_family",
+    "available_families",
+    "SimHasher",
+    "PStableHasher",
+]

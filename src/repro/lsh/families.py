@@ -1,0 +1,100 @@
+"""LSH family protocol and registry.
+
+The paper's framework is generic over the hashing scheme: any locality
+sensitive family whose signatures can be banded works.  K-Modes uses
+MinHash (Jaccard similarity); the further-work extension to numeric
+data needs cosine (:class:`repro.lsh.simhash.SimHasher`) or Euclidean
+(:class:`repro.lsh.pstable.PStableHasher`) families.
+
+A *family* here is any object with
+
+* an ``n_hashes`` attribute — the signature width, and
+* a ``signatures(data) -> (n_items, n_hashes) int64`` method.
+
+The registry lets estimators accept a family by name, mirroring how a
+database system would expose pluggable index types.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LSHFamily", "register_family", "get_family", "available_families"]
+
+
+@runtime_checkable
+class LSHFamily(Protocol):
+    """Structural interface every LSH family implements."""
+
+    n_hashes: int
+
+    def signatures(self, data: Any) -> np.ndarray:
+        """Return an ``(n_items, n_hashes)`` int64 signature matrix."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., LSHFamily]] = {}
+
+
+def register_family(name: str, factory: Callable[..., LSHFamily]) -> None:
+    """Register a family factory under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Lookup key, case-insensitive.
+    factory:
+        Callable accepting at least ``n_hashes`` and ``seed`` keyword
+        arguments and returning a family instance.
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is already taken (re-registering the same factory
+        is allowed and is a no-op).
+    """
+    key = name.lower()
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not factory:
+        raise ConfigurationError(f"LSH family {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_family(name: str, **kwargs: Any) -> LSHFamily:
+    """Instantiate a registered family by name.
+
+    Examples
+    --------
+    >>> family = get_family("minhash", n_hashes=16, seed=1)
+    >>> family.n_hashes
+    16
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown LSH family {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_families() -> list[str]:
+    """Names of every registered family, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    """Register the built-in families lazily to avoid import cycles."""
+    from repro.lsh.minhash import MinHasher
+    from repro.lsh.pstable import PStableHasher
+    from repro.lsh.simhash import SimHasher
+
+    register_family("minhash", MinHasher)
+    register_family("simhash", SimHasher)
+    register_family("pstable", PStableHasher)
+
+
+_register_builtins()

@@ -1,0 +1,374 @@
+"""The clustered LSH index of Algorithm 2.
+
+This is the data structure at the heart of the paper's framework: a
+banded LSH index over *items* in which every item carries a mutable
+reference to the cluster it is currently assigned to.
+
+Build phase (run once, after centroid initialisation):
+
+1. every item's signature is banded into ``b`` bucket keys;
+2. per band, a hash table maps bucket key → the array of member items;
+3. optionally, each item's static *neighbour list* — the union of its
+   buckets' members — is precomputed, because buckets never change
+   after the build.
+
+Query phase (run once per item per iteration):
+
+* :meth:`ClusteredLSHIndex.candidate_clusters` returns the distinct
+  clusters currently holding the item's neighbours.  This is the
+  paper's *shortlist*.  Because an item always collides with itself,
+  the shortlist always contains the item's own current cluster.
+
+Update phase (after each reassignment):
+
+* :meth:`ClusteredLSHIndex.update_assignment` rewrites one slot of the
+  assignment array — the O(1) "update the cluster reference" step the
+  paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.lsh.bands import compute_band_keys, validate_bands_rows
+
+__all__ = ["ClusteredLSHIndex", "IndexStats"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Summary statistics of a built index (useful for diagnostics).
+
+    Attributes
+    ----------
+    n_items:
+        Number of indexed items.
+    bands, rows:
+        Banding parameters.
+    n_buckets:
+        Total number of non-empty buckets across all bands.
+    mean_bucket_size:
+        Average number of items per bucket.
+    max_bucket_size:
+        Size of the fullest bucket.
+    mean_neighbours:
+        Average neighbour-list length (only when neighbours are
+        precomputed; ``nan`` otherwise).
+    """
+
+    n_items: int
+    bands: int
+    rows: int
+    n_buckets: int
+    mean_bucket_size: float
+    max_bucket_size: int
+    mean_neighbours: float
+
+
+class ClusteredLSHIndex:
+    """Banded LSH index whose entries carry mutable cluster references.
+
+    Parameters
+    ----------
+    bands:
+        Number of bands ``b``.
+    rows:
+        Rows per band ``r``.  Signatures must have width ``b * r``.
+    precompute_neighbours:
+        If True (default), each item's neighbour list is materialised
+        at build time as a CSR array pair.  Queries then cost a couple
+        of numpy gathers.  Turn off to save memory when buckets are
+        enormous (for example 1 band × 1 row on near-duplicate data).
+
+    Examples
+    --------
+    >>> from repro.lsh import MinHasher, TokenSets
+    >>> items = TokenSets.from_lists([[1, 2, 3], [1, 2, 4], [9, 10, 11]])
+    >>> sigs = MinHasher(n_hashes=8, seed=0).signatures(items)
+    >>> index = ClusteredLSHIndex(bands=4, rows=2)
+    >>> index.build(sigs, assignments=np.array([0, 1, 2]))
+    >>> sorted(index.candidate_clusters(0).tolist())  # doctest: +SKIP
+    [0, 1]
+    """
+
+    def __init__(self, bands: int, rows: int, precompute_neighbours: bool = True):
+        validate_bands_rows(bands, rows)
+        self.bands = int(bands)
+        self.rows = int(rows)
+        self.precompute_neighbours = bool(precompute_neighbours)
+        self._assignments: np.ndarray | None = None
+        self._band_keys: np.ndarray | None = None
+        self._buckets: list[dict[int, np.ndarray]] | None = None
+        # Neighbour lists are stored per *group* of items with identical
+        # band-key rows: such items occupy exactly the same buckets and
+        # therefore share one neighbour list.  This collapses the
+        # pathological case of many identical (or empty) token sets
+        # from O(n²) to O(n) work and memory.
+        self._group_of: np.ndarray | None = None
+        self._group_neighbours: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+
+    def build(self, signatures: np.ndarray, assignments: np.ndarray) -> "ClusteredLSHIndex":
+        """Index every item once (the single pass of Algorithm 2).
+
+        Parameters
+        ----------
+        signatures:
+            ``(n_items, bands * rows)`` signature matrix.
+        assignments:
+            ``(n_items,)`` initial cluster id per item.  Copied; use
+            :meth:`update_assignment` / :meth:`set_assignments` to
+            change later.
+        """
+        signatures = np.asarray(signatures)
+        assignments = np.asarray(assignments)
+        if assignments.ndim != 1:
+            raise DataValidationError(
+                f"assignments must be 1-D, got ndim={assignments.ndim}"
+            )
+        if len(assignments) != len(signatures):
+            raise DataValidationError(
+                f"{len(signatures)} signatures but {len(assignments)} assignments"
+            )
+        if len(signatures) == 0:
+            raise DataValidationError("cannot build an index over zero items")
+        self._band_keys = compute_band_keys(signatures, self.bands, self.rows)
+        self._assignments = assignments.astype(np.int64).copy()
+        self._buckets = [
+            self._bucketise(self._band_keys[:, j]) for j in range(self.bands)
+        ]
+        if self.precompute_neighbours:
+            self._build_neighbour_lists()
+        return self
+
+    @staticmethod
+    def _bucketise(keys: np.ndarray) -> dict[int, np.ndarray]:
+        """Group item ids by bucket key via one argsort (no Python loop per item)."""
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        # Boundaries where the key value changes delimit the buckets.
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [len(keys)]])
+        return {
+            int(sorted_keys[s]): order[s:e].astype(np.int64)
+            for s, e in zip(starts, ends)
+        }
+
+    def _build_neighbour_lists(self) -> None:
+        """Materialise one neighbour list per distinct band-key row."""
+        assert self._band_keys is not None and self._buckets is not None
+        unique_rows, group_of = np.unique(
+            self._band_keys, axis=0, return_inverse=True
+        )
+        self._group_of = group_of.astype(np.int64).ravel()
+        self._group_neighbours = [
+            np.unique(
+                np.concatenate(
+                    [self._buckets[j][int(row[j])] for j in range(self.bands)]
+                )
+            )
+            for row in unique_rows
+        ]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def candidate_items(self, item: int) -> np.ndarray:
+        """All items sharing at least one bucket with ``item`` (incl. itself)."""
+        self._check_built()
+        if self._group_neighbours is not None:
+            assert self._group_of is not None
+            return self._group_neighbours[self._group_of[item]]
+        assert self._band_keys is not None and self._buckets is not None
+        merged = np.concatenate(
+            [self._buckets[j][int(self._band_keys[item, j])] for j in range(self.bands)]
+        )
+        return np.unique(merged)
+
+    def candidate_clusters(self, item: int) -> np.ndarray:
+        """The paper's shortlist: distinct clusters of the item's neighbours."""
+        self._check_built()
+        assert self._assignments is not None
+        return np.unique(self._assignments[self.candidate_items(item)])
+
+    def candidate_clusters_for_signature(self, signature: np.ndarray) -> np.ndarray:
+        """Shortlist for a *novel* (un-indexed) signature.
+
+        Used at predict time for unseen items.  Unlike
+        :meth:`candidate_clusters`, the result may be empty if the new
+        signature collides with nothing.
+        """
+        self._check_built()
+        assert self._buckets is not None and self._assignments is not None
+        signature = np.asarray(signature)
+        if signature.ndim == 1:
+            signature = signature[None, :]
+        keys = compute_band_keys(signature, self.bands, self.rows)[0]
+        hits = [
+            self._buckets[j].get(int(keys[j]))
+            for j in range(self.bands)
+        ]
+        hits = [h for h in hits if h is not None]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self._assignments[np.concatenate(hits)])
+
+    # ------------------------------------------------------------------
+    # incremental insertion (streaming extension)
+    # ------------------------------------------------------------------
+
+    def insert(self, signature: np.ndarray, cluster: int) -> int:
+        """Add one new item to the index and return its item id.
+
+        Supports the streaming extension (the paper's Further Work):
+        late-arriving items are hashed into the existing buckets with
+        their cluster reference, making them visible to subsequent
+        queries.  Requires ``precompute_neighbours=False`` — grouped
+        neighbour lists are frozen at build time and cannot absorb
+        inserts.
+
+        Parameters
+        ----------
+        signature:
+            ``(bands * rows,)`` signature of the new item.
+        cluster:
+            The cluster reference to store for it.
+        """
+        self._check_built()
+        if self._group_neighbours is not None:
+            raise ConfigurationError(
+                "insert requires precompute_neighbours=False; grouped "
+                "neighbour lists cannot absorb new items"
+            )
+        assert (
+            self._band_keys is not None
+            and self._buckets is not None
+            and self._assignments is not None
+        )
+        signature = np.asarray(signature)
+        if signature.ndim != 1:
+            raise DataValidationError(
+                f"signature must be 1-D, got ndim={signature.ndim}"
+            )
+        keys = compute_band_keys(signature[None, :], self.bands, self.rows)[0]
+        item = len(self._band_keys)
+        self._band_keys = np.vstack([self._band_keys, keys[None, :]])
+        self._assignments = np.append(self._assignments, np.int64(cluster))
+        for j in range(self.bands):
+            bucket = self._buckets[j].get(int(keys[j]))
+            if bucket is None:
+                self._buckets[j][int(keys[j])] = np.array([item], dtype=np.int64)
+            else:
+                self._buckets[j][int(keys[j])] = np.append(bucket, np.int64(item))
+        return item
+
+    # ------------------------------------------------------------------
+    # cluster-reference updates
+    # ------------------------------------------------------------------
+
+    def update_assignment(self, item: int, cluster: int) -> None:
+        """O(1) rewrite of one item's cluster reference."""
+        self._check_built()
+        assert self._assignments is not None
+        self._assignments[item] = cluster
+
+    def set_assignments(self, assignments: np.ndarray) -> None:
+        """Bulk-replace every cluster reference (used between iterations)."""
+        self._check_built()
+        assert self._assignments is not None
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if assignments.shape != self._assignments.shape:
+            raise DataValidationError(
+                f"expected shape {self._assignments.shape}, got {assignments.shape}"
+            )
+        self._assignments = assignments.copy()
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """A copy of the current cluster references."""
+        self._check_built()
+        assert self._assignments is not None
+        return self._assignments.copy()
+
+    def assignments_view(self) -> np.ndarray:
+        """The *live* cluster-reference array (no copy).
+
+        Intended for the inner fitting loops of this library: writing
+        ``view[i] = c`` is equivalent to :meth:`update_assignment` and
+        is immediately visible to :meth:`candidate_clusters`.  Treat as
+        an internal fast path; external callers should prefer the safe
+        methods.
+        """
+        self._check_built()
+        assert self._assignments is not None
+        return self._assignments
+
+    def neighbour_groups(self) -> tuple[np.ndarray, list[np.ndarray]] | None:
+        """Grouped neighbour lists: ``(group_of, group_neighbours)``.
+
+        ``group_neighbours[group_of[i]]`` is item ``i``'s neighbour
+        list; items with identical band keys share one list.  Returns
+        ``None`` when the index was built with
+        ``precompute_neighbours=False``; callers must then go through
+        :meth:`candidate_items`.
+        """
+        self._check_built()
+        if self._group_of is None or self._group_neighbours is None:
+            return None
+        return self._group_of, self._group_neighbours
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        self._check_built()
+        assert self._band_keys is not None
+        return len(self._band_keys)
+
+    def stats(self) -> IndexStats:
+        """Bucket- and neighbour-level summary statistics."""
+        self._check_built()
+        assert self._buckets is not None
+        sizes = np.array(
+            [len(members) for band in self._buckets for members in band.values()],
+            dtype=np.int64,
+        )
+        if self._group_of is not None and self._group_neighbours is not None:
+            lengths = np.array(
+                [len(group) for group in self._group_neighbours], dtype=np.int64
+            )
+            mean_nb = float(lengths[self._group_of].mean())
+        else:
+            mean_nb = float("nan")
+        return IndexStats(
+            n_items=self.n_items,
+            bands=self.bands,
+            rows=self.rows,
+            n_buckets=int(len(sizes)),
+            mean_bucket_size=float(sizes.mean()) if sizes.size else 0.0,
+            max_bucket_size=int(sizes.max()) if sizes.size else 0,
+            mean_neighbours=mean_nb,
+        )
+
+    def _check_built(self) -> None:
+        if self._buckets is None:
+            raise NotFittedError(
+                "index not built; call build(signatures, assignments) first"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = self._buckets is not None
+        return (
+            f"ClusteredLSHIndex(bands={self.bands}, rows={self.rows}, "
+            f"built={built})"
+        )

@@ -1,0 +1,95 @@
+"""p-stable LSH for Euclidean distance (Datar et al. scheme).
+
+Second numeric family for the further-work extension.  Each hash
+function projects a vector onto a random Gaussian direction, shifts it
+by a random offset and quantises into cells of width ``w``:
+
+    h(x) = floor((a · x + b) / w)
+
+Close vectors land in the same cell with high probability; the cell
+ids are int64 values that band exactly like MinHash signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+
+__all__ = ["PStableHasher"]
+
+
+class PStableHasher:
+    """Euclidean (2-stable, Gaussian) LSH with quantisation width ``w``.
+
+    Parameters
+    ----------
+    n_hashes:
+        Number of projections (signature width).
+    seed:
+        Seed for projections and offsets.
+    width:
+        Quantisation cell width ``w``.  Smaller widths are more
+        selective.  Must be positive.
+    n_features:
+        Input dimensionality; inferred on first use if omitted.
+    """
+
+    def __init__(
+        self,
+        n_hashes: int,
+        seed: int = 0,
+        width: float = 4.0,
+        n_features: int | None = None,
+    ):
+        if n_hashes <= 0:
+            raise ConfigurationError(f"n_hashes must be positive, got {n_hashes}")
+        if width <= 0:
+            raise ConfigurationError(f"width must be positive, got {width}")
+        self.n_hashes = int(n_hashes)
+        self.seed = int(seed)
+        self.width = float(width)
+        self.n_features = n_features
+        self._directions: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        if n_features is not None:
+            self._init_projections(n_features)
+
+    def _init_projections(self, n_features: int) -> None:
+        if n_features <= 0:
+            raise ConfigurationError(f"n_features must be positive, got {n_features}")
+        rng = np.random.default_rng(self.seed)
+        self._directions = rng.standard_normal((n_features, self.n_hashes))
+        self._offsets = rng.uniform(0.0, self.width, size=self.n_hashes)
+        self.n_features = int(n_features)
+
+    def signatures(self, X: np.ndarray) -> np.ndarray:
+        """Quantised projections of a matrix of row vectors.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_items, n_hashes)`` int64 cell ids.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataValidationError(f"expected 2-D matrix, got ndim={X.ndim}")
+        if self._directions is None:
+            self._init_projections(X.shape[1])
+        assert self._directions is not None and self._offsets is not None
+        if X.shape[1] != self._directions.shape[0]:
+            raise DataValidationError(
+                f"expected {self._directions.shape[0]} features, got {X.shape[1]}"
+            )
+        projected = (X @ self._directions + self._offsets[None, :]) / self.width
+        return np.floor(projected).astype(np.int64)
+
+    def signature(self, x: np.ndarray) -> np.ndarray:
+        """Hash a single vector (convenience wrapper)."""
+        return self.signatures(np.asarray(x)[None, :])[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PStableHasher(n_hashes={self.n_hashes}, seed={self.seed}, "
+            f"width={self.width}, n_features={self.n_features})"
+        )

@@ -1,0 +1,100 @@
+"""SimHash — signed random projection LSH for cosine similarity.
+
+Used by the numeric-data extension (:class:`repro.kmeans.LSHKMeans`).
+Each hash function is a random hyperplane through the origin; the hash
+of a vector is the side of the hyperplane it falls on (one bit).  Two
+vectors with angle ``θ`` agree on a bit with probability ``1 - θ/π``,
+which makes the family locality sensitive for cosine similarity.
+
+Signatures are returned as int64 0/1 columns so they band exactly like
+MinHash signatures through :func:`repro.lsh.bands.compute_band_keys`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataValidationError
+
+__all__ = ["SimHasher"]
+
+
+class SimHasher:
+    """Signed random projection hashing for dense numeric vectors.
+
+    Parameters
+    ----------
+    n_hashes:
+        Number of hyperplanes (signature width).
+    seed:
+        Seed for drawing the hyperplane normals.
+    n_features:
+        Dimensionality of the input vectors.  May be left ``None`` and
+        inferred on the first call, after which it is fixed.
+    """
+
+    def __init__(self, n_hashes: int, seed: int = 0, n_features: int | None = None):
+        if n_hashes <= 0:
+            raise ConfigurationError(f"n_hashes must be positive, got {n_hashes}")
+        self.n_hashes = int(n_hashes)
+        self.seed = int(seed)
+        self.n_features = n_features
+        self._planes: np.ndarray | None = None
+        if n_features is not None:
+            self._init_planes(n_features)
+
+    def _init_planes(self, n_features: int) -> None:
+        if n_features <= 0:
+            raise ConfigurationError(f"n_features must be positive, got {n_features}")
+        rng = np.random.default_rng(self.seed)
+        self._planes = rng.standard_normal((n_features, self.n_hashes))
+        self.n_features = int(n_features)
+
+    def signatures(self, X: np.ndarray) -> np.ndarray:
+        """Hash a matrix of row vectors to sign bits.
+
+        Parameters
+        ----------
+        X:
+            ``(n_items, n_features)`` float matrix.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_items, n_hashes)`` int64 matrix of 0/1 bits.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataValidationError(f"expected 2-D matrix, got ndim={X.ndim}")
+        if self._planes is None:
+            self._init_planes(X.shape[1])
+        assert self._planes is not None
+        if X.shape[1] != self._planes.shape[0]:
+            raise DataValidationError(
+                f"expected {self._planes.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X @ self._planes >= 0.0).astype(np.int64)
+
+    def signature(self, x: np.ndarray) -> np.ndarray:
+        """Hash a single vector (convenience wrapper)."""
+        return self.signatures(np.asarray(x)[None, :])[0]
+
+    @staticmethod
+    def estimate_cosine(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Estimate cosine similarity from two bit signatures.
+
+        Inverts the collision probability ``P(agree) = 1 - θ/π``:
+        ``cos(π · (1 - P))`` estimates ``cos θ``.
+        """
+        sig_a = np.asarray(sig_a)
+        sig_b = np.asarray(sig_b)
+        if sig_a.shape != sig_b.shape or sig_a.size == 0:
+            raise DataValidationError("signatures must be non-empty and same shape")
+        agree = float(np.mean(sig_a == sig_b))
+        return float(np.cos(np.pi * (1.0 - agree)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimHasher(n_hashes={self.n_hashes}, seed={self.seed}, "
+            f"n_features={self.n_features})"
+        )

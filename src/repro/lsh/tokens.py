@@ -1,0 +1,232 @@
+"""Compact storage for variable-length token sets.
+
+MinHash operates on *sets* of integer tokens.  Depending on the data
+source these sets come in three shapes:
+
+* a dense categorical matrix (every attribute present) — the synthetic
+  ``datgen`` datasets of Section IV-A;
+* a sparse binary presence matrix — the Yahoo! Answers encoding of
+  Section IV-B, after the paper's Algorithm 2 (lines 1-4) has filtered
+  out absent features;
+* ragged Python lists of tokens — hand-constructed data and tests.
+
+:class:`TokenSets` normalises all three into a CSR-style pair of arrays
+(``indices`` holding all tokens back to back, ``indptr`` holding row
+boundaries) so that signature generation can run as a handful of
+vectorised numpy operations instead of a Python loop per item.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.lsh.hashing import MERSENNE_PRIME_31
+
+__all__ = ["TokenSets", "encode_categorical_tokens"]
+
+
+def encode_categorical_tokens(
+    X: np.ndarray,
+    domain_size: int | None = None,
+) -> np.ndarray:
+    """Encode a categorical matrix into per-cell integer tokens.
+
+    Jaccard similarity between two categorical items is defined over
+    their sets of *(attribute, value)* pairs, so the same value in two
+    different columns must map to two different tokens.  We encode cell
+    ``(i, j)`` as ``j * domain_size + X[i, j]``.
+
+    Parameters
+    ----------
+    X:
+        ``(n_items, n_attributes)`` integer matrix of category codes,
+        all values in ``[0, domain_size)``.
+    domain_size:
+        Size of the (global) category domain.  Defaults to
+        ``X.max() + 1``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_items, n_attributes)`` int64 token matrix.
+
+    Raises
+    ------
+    DataValidationError
+        If ``X`` is not 2-D, contains negative codes, or the encoded
+        tokens would overflow the hashing modulus.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise DataValidationError(f"expected 2-D categorical matrix, got ndim={X.ndim}")
+    if X.size == 0:
+        raise DataValidationError("cannot encode an empty matrix")
+    if not np.issubdtype(X.dtype, np.integer):
+        raise DataValidationError(f"categorical codes must be integers, got {X.dtype}")
+    if X.min() < 0:
+        raise DataValidationError("categorical codes must be non-negative")
+    if domain_size is None:
+        domain_size = int(X.max()) + 1
+    elif X.max() >= domain_size:
+        raise DataValidationError(
+            f"found code {int(X.max())} >= domain_size {domain_size}"
+        )
+    n_attributes = X.shape[1]
+    max_token = n_attributes * domain_size
+    if max_token >= MERSENNE_PRIME_31:
+        raise DataValidationError(
+            f"token universe {max_token} exceeds the hashing modulus "
+            f"{MERSENNE_PRIME_31}; reduce domain_size or the attribute count"
+        )
+    offsets = np.arange(n_attributes, dtype=np.int64) * domain_size
+    return X.astype(np.int64) + offsets[None, :]
+
+
+class TokenSets:
+    """A ragged collection of integer token sets in CSR layout.
+
+    Parameters
+    ----------
+    indices:
+        1-D int64 array holding the tokens of every row back to back.
+    indptr:
+        1-D int64 array of length ``n_rows + 1``; row ``i`` owns
+        ``indices[indptr[i]:indptr[i + 1]]``.
+
+    Notes
+    -----
+    Rows may be empty (an item whose features were all filtered out);
+    :class:`repro.lsh.minhash.MinHasher` gives such rows a sentinel
+    signature.  Tokens within a row need not be sorted or unique —
+    MinHash is insensitive to duplicates because ``min`` is idempotent.
+    """
+
+    def __init__(self, indices: np.ndarray, indptr: np.ndarray):
+        indices = np.asarray(indices, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if indices.ndim != 1 or indptr.ndim != 1:
+            raise DataValidationError("indices and indptr must be 1-D arrays")
+        if len(indptr) == 0 or indptr[0] != 0:
+            raise DataValidationError("indptr must start with 0")
+        if indptr[-1] != len(indices):
+            raise DataValidationError(
+                f"indptr must end at len(indices)={len(indices)}, got {indptr[-1]}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise DataValidationError("indptr must be non-decreasing")
+        if indices.size and indices.min() < 0:
+            raise DataValidationError("tokens must be non-negative")
+        self.indices = indices
+        self.indptr = indptr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_lists(cls, rows: Sequence[Iterable[int]]) -> "TokenSets":
+        """Build from a sequence of per-item token iterables."""
+        arrays = [np.asarray(list(row), dtype=np.int64) for row in rows]
+        lengths = np.array([len(a) for a in arrays], dtype=np.int64)
+        indptr = np.concatenate([[0], np.cumsum(lengths)])
+        indices = (
+            np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        )
+        return cls(indices, indptr)
+
+    @classmethod
+    def from_categorical_matrix(
+        cls,
+        X: np.ndarray,
+        domain_size: int | None = None,
+        absent_code: int | None = None,
+    ) -> "TokenSets":
+        """Build from a dense categorical matrix.
+
+        Parameters
+        ----------
+        X:
+            ``(n_items, n_attributes)`` matrix of category codes.
+        domain_size:
+            Global category domain size (default: inferred).
+        absent_code:
+            If given, cells equal to this code are treated as "feature
+            not present" and dropped — the presence filtering of
+            Algorithm 2 lines 1-4 in the paper.
+        """
+        tokens = encode_categorical_tokens(X, domain_size=domain_size)
+        if absent_code is None:
+            n, m = tokens.shape
+            indptr = np.arange(0, (n + 1) * m, m, dtype=np.int64)
+            return cls(tokens.reshape(-1).copy(), indptr)
+        keep = np.asarray(X) != absent_code
+        lengths = keep.sum(axis=1).astype(np.int64)
+        indptr = np.concatenate([[0], np.cumsum(lengths)])
+        return cls(tokens[keep], indptr)
+
+    @classmethod
+    def from_binary_matrix(cls, B: np.ndarray) -> "TokenSets":
+        """Build from a dense 0/1 presence matrix.
+
+        Row ``i``'s token set is the column indices where ``B[i]`` is
+        non-zero.  This reproduces the paper's Yahoo! Answers encoding:
+        after augmenting values with feature names, only *present*
+        features survive, and each present feature is one set element.
+        """
+        B = np.asarray(B)
+        if B.ndim != 2:
+            raise DataValidationError(f"expected 2-D binary matrix, got ndim={B.ndim}")
+        mask = B != 0
+        lengths = mask.sum(axis=1).astype(np.int64)
+        indptr = np.concatenate([[0], np.cumsum(lengths)])
+        cols = np.nonzero(mask)[1].astype(np.int64)
+        return cls(cols, indptr)
+
+    @classmethod
+    def from_csr(cls, matrix) -> "TokenSets":
+        """Build from a ``scipy.sparse`` CSR matrix (non-zeros = present)."""
+        csr = matrix.tocsr()
+        return cls(csr.indices.astype(np.int64), csr.indptr.astype(np.int64))
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        """Return row ``i``'s tokens (a view, do not mutate)."""
+        if not -len(self) <= i < len(self):
+            raise IndexError(f"row {i} out of range for {len(self)} rows")
+        if i < 0:
+            i += len(self)
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for i in range(len(self)):
+            yield self[i]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Number of tokens in each row."""
+        return np.diff(self.indptr)
+
+    @property
+    def n_tokens(self) -> int:
+        """Total number of stored tokens across all rows."""
+        return int(len(self.indices))
+
+    def row_set(self, i: int) -> set[int]:
+        """Return row ``i`` as a Python set (convenience for tests)."""
+        return set(int(t) for t in self[i])
+
+    def max_token(self) -> int:
+        """Largest token stored, or ``-1`` if the collection is empty."""
+        return int(self.indices.max()) if self.indices.size else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenSets(n_rows={len(self)}, n_tokens={self.n_tokens})"

@@ -1,0 +1,37 @@
+"""Clustering evaluation metrics.
+
+The paper evaluates with **cluster purity** (Figures 8, 9e); this
+package implements it from scratch along with the standard external
+metrics (NMI, ARI, homogeneity/completeness/V-measure) that a
+downstream user of the library would expect, plus the Jaccard
+similarity that underpins MinHash.
+"""
+
+from repro.metrics.external import (
+    adjusted_rand_index,
+    completeness,
+    contingency_matrix,
+    homogeneity,
+    normalized_mutual_information,
+    v_measure,
+)
+from repro.metrics.jaccard import (
+    jaccard_similarity,
+    jaccard_similarity_binary,
+    pairwise_jaccard,
+)
+from repro.metrics.purity import cluster_purity, per_cluster_purity
+
+__all__ = [
+    "cluster_purity",
+    "per_cluster_purity",
+    "contingency_matrix",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "homogeneity",
+    "completeness",
+    "v_measure",
+    "jaccard_similarity",
+    "jaccard_similarity_binary",
+    "pairwise_jaccard",
+]

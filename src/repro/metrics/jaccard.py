@@ -1,0 +1,77 @@
+"""Jaccard similarity — the measure MinHash approximates (Equation 6).
+
+Three entry points cover the library's data shapes: Python sets,
+binary presence vectors, and ragged :class:`~repro.lsh.tokens.TokenSets`
+collections (pairwise).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+import numpy as np
+
+from repro.exceptions import DataValidationError
+from repro.lsh.tokens import TokenSets
+
+__all__ = ["jaccard_similarity", "jaccard_similarity_binary", "pairwise_jaccard"]
+
+
+def jaccard_similarity(a: Collection, b: Collection) -> float:
+    """Jaccard similarity ``|A ∩ B| / |A ∪ B|`` of two collections.
+
+    Both collections are treated as sets (duplicates ignored).  The
+    similarity of two empty sets is defined as 1.0, matching the
+    convention used by the MinHash sentinel signature.
+
+    Examples
+    --------
+    >>> jaccard_similarity({1, 2, 3}, {2, 3, 4})
+    0.5
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def jaccard_similarity_binary(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of two 0/1 presence vectors.
+
+    Matches the paper's Yahoo! Answers treatment: only *present*
+    features participate, so shared absences contribute nothing.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise DataValidationError(
+            f"expected two 1-D vectors of equal length, got {a.shape} and {b.shape}"
+        )
+    a_on = a != 0
+    b_on = b != 0
+    union = np.logical_or(a_on, b_on).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(a_on, b_on).sum() / union)
+
+
+def pairwise_jaccard(token_sets: TokenSets) -> np.ndarray:
+    """Exact pairwise Jaccard matrix of a token collection.
+
+    O(n² · set size); intended for validation and tests, not for the
+    large-scale path (that is what MinHash is for).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` symmetric float matrix with unit diagonal.
+    """
+    n = len(token_sets)
+    sets = [token_sets.row_set(i) for i in range(n)]
+    out = np.ones((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            sim = jaccard_similarity(sets[i], sets[j])
+            out[i, j] = sim
+            out[j, i] = sim
+    return out

@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.error_bound — the paper's Tables I/II and §III-C."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_bound import (
+    candidate_pair_probability,
+    cluster_recall_probability,
+    error_bound,
+    minimum_similarity,
+)
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+class TestPaperTableI:
+    """Rows of Table I (r=1, cluster size 10), to the paper's precision."""
+
+    @pytest.mark.parametrize(
+        "bands,similarity,pair,recall",
+        [
+            (10, 0.01, 0.09, 0.61),
+            (10, 0.1, 0.65, 1.0),
+            (10, 0.2, 0.89, 1.0),
+            (10, 0.5, 0.99, 1.0),
+            (100, 0.1, 0.99, 1.0),
+            (100, 0.5, 1.0, 1.0),
+            (100, 0.8, 1.0, 1.0),
+            # The paper's 0.52 here compounds its own rounded pair
+            # probability (1-(1-0.07)^10 = 0.516); the exact value is
+            # 0.551, hence the slightly wider tolerance on this row.
+            (800, 0.0001, 0.07, 0.55),
+            (800, 0.001, 0.55, 0.99),
+            (800, 0.01, 0.99, 1.0),
+            (800, 0.1, 1.0, 1.0),
+        ],
+    )
+    def test_row(self, bands, similarity, pair, recall):
+        assert candidate_pair_probability(similarity, bands, 1) == pytest.approx(
+            pair, abs=0.03
+        )
+        assert cluster_recall_probability(
+            similarity, bands, 1, cluster_size=10
+        ) == pytest.approx(recall, abs=0.03)
+
+    def test_known_paper_anomalies_documented(self):
+        # The paper prints 0.009 and 0.3 for (b=100, s=0.001) and
+        # (b=100, s=0.01); its own formula 1-(1-s^r)^b gives 0.095 and
+        # 0.634.  We implement the formula, not the typo.
+        assert candidate_pair_probability(0.001, 100, 1) == pytest.approx(
+            0.0952, abs=0.001
+        )
+        assert candidate_pair_probability(0.01, 100, 1) == pytest.approx(
+            0.634, abs=0.001
+        )
+
+
+class TestPaperTableII:
+    """Rows of Table II (r=5, cluster size 10)."""
+
+    @pytest.mark.parametrize(
+        "bands,similarity,pair,recall",
+        [
+            (10, 0.1, 0.0001, 0.001),
+            (10, 0.2, 0.003, 0.03),
+            (10, 0.5, 0.27, 0.96),
+            (10, 0.8, 0.98, 1.0),
+            (100, 0.1, 0.001, 0.01),
+            (100, 0.5, 0.95, 1.0),
+            (800, 0.1, 0.008, 0.08),
+            (800, 0.2, 0.23, 0.93),
+            (800, 0.3, 0.86, 1.0),
+        ],
+    )
+    def test_row(self, bands, similarity, pair, recall):
+        assert candidate_pair_probability(similarity, bands, 5) == pytest.approx(
+            pair, abs=0.02
+        )
+        assert cluster_recall_probability(
+            similarity, bands, 5, cluster_size=10
+        ) == pytest.approx(recall, abs=0.02)
+
+
+class TestFootnoteExample:
+    def test_footnote_1(self):
+        # "If there is a 10% probability ... 50 such items ... 99%."
+        recall = 1.0 - (1.0 - 0.1) ** 50
+        assert recall == pytest.approx(0.9948, abs=1e-3)
+
+
+class TestMinimumSimilarity:
+    def test_closed_form(self):
+        assert minimum_similarity(100) == pytest.approx(1 / 199)
+
+    def test_single_attribute(self):
+        assert minimum_similarity(1) == 1.0
+
+    def test_decreasing_in_attributes(self):
+        values = [minimum_similarity(m) for m in (1, 10, 100, 1000)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            minimum_similarity(0)
+
+
+class TestErrorBound:
+    def test_paper_worked_example(self):
+        # §III-C: m=100, r=1, b=25, |C|=20 → 0.08.
+        assert error_bound(100, bands=25, rows=1, cluster_size=20) == pytest.approx(
+            0.08, abs=0.005
+        )
+
+    def test_shrinks_with_bands(self):
+        assert error_bound(100, 50, 1, 20) < error_bound(100, 25, 1, 20)
+
+    def test_shrinks_with_cluster_size(self):
+        assert error_bound(100, 25, 1, 40) < error_bound(100, 25, 1, 20)
+
+    def test_grows_with_rows(self):
+        assert error_bound(100, 25, 5, 20) > error_bound(100, 25, 1, 20)
+
+    def test_grows_with_attributes(self):
+        assert error_bound(400, 25, 1, 20) > error_bound(100, 25, 1, 20)
+
+    def test_complements_recall(self):
+        m, b, r, c = 100, 25, 1, 20
+        recall = cluster_recall_probability(minimum_similarity(m), b, r, c)
+        assert error_bound(m, b, r, c) == pytest.approx(1.0 - recall)
+
+    def test_bounds_are_probabilities(self):
+        for m in (2, 10, 500):
+            for b, r in ((1, 1), (20, 5), (800, 1)):
+                value = error_bound(m, b, r, 10)
+                assert 0.0 <= value <= 1.0
+
+    def test_rejects_bad_cluster_size(self):
+        with pytest.raises(ConfigurationError):
+            error_bound(100, 25, 1, 0)
+
+
+class TestInputValidation:
+    def test_pair_probability_range_check(self):
+        with pytest.raises(DataValidationError):
+            candidate_pair_probability(-0.1, 10, 1)
+        with pytest.raises(DataValidationError):
+            candidate_pair_probability(1.1, 10, 1)
+
+    def test_recall_range_check(self):
+        with pytest.raises(DataValidationError):
+            cluster_recall_probability(2.0, 10, 1, 10)
+        with pytest.raises(ConfigurationError):
+            cluster_recall_probability(0.5, 10, 1, -1)
+
+    def test_recall_monotone_in_cluster_size(self):
+        values = [
+            cluster_recall_probability(0.05, 10, 2, c) for c in (1, 5, 25, 125)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))

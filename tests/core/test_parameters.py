@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.parameters ((b, r) selection, §III-D)."""
+
+import pytest
+
+from repro.core.error_bound import cluster_recall_probability
+from repro.core.parameters import (
+    ParameterRecommendation,
+    probability_table,
+    suggest_bands_rows,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestSuggestBandsRows:
+    def test_meets_recall_target(self):
+        rec = suggest_bands_rows(0.3, cluster_size=10, min_recall=0.95)
+        assert rec.cluster_recall >= 0.95
+        assert (
+            cluster_recall_probability(0.3, rec.bands, rec.rows, 10)
+            == rec.cluster_recall
+        )
+
+    def test_respects_hash_budget(self):
+        rec = suggest_bands_rows(0.3, cluster_size=10, max_hashes=64)
+        assert rec.n_hashes <= 64
+
+    def test_lower_similarity_needs_more_hashes(self):
+        cheap = suggest_bands_rows(0.6, cluster_size=5, min_recall=0.99)
+        costly = suggest_bands_rows(0.05, cluster_size=5, min_recall=0.99)
+        assert costly.n_hashes >= cheap.n_hashes
+
+    def test_larger_clusters_make_it_cheaper(self):
+        small = suggest_bands_rows(0.2, cluster_size=2, min_recall=0.95)
+        large = suggest_bands_rows(0.2, cluster_size=50, min_recall=0.95)
+        assert large.n_hashes <= small.n_hashes
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigurationError, match="no \\(bands, rows\\)"):
+            suggest_bands_rows(
+                0.0001, cluster_size=1, min_recall=0.9999, max_hashes=4
+            )
+
+    def test_returns_recommendation_type(self):
+        rec = suggest_bands_rows(0.5)
+        assert isinstance(rec, ParameterRecommendation)
+        assert rec.n_hashes == rec.bands * rec.rows
+        assert 0.0 < rec.threshold <= 1.0
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            suggest_bands_rows(0.0)
+        with pytest.raises(ConfigurationError):
+            suggest_bands_rows(0.5, min_recall=1.0)
+        with pytest.raises(ConfigurationError):
+            suggest_bands_rows(0.5, cluster_size=0)
+
+
+class TestProbabilityTable:
+    def test_table_shape(self):
+        table = probability_table(1, [10, 100], [0.1, 0.5])
+        assert len(table) == 4
+        assert set(table[0]) == {
+            "bands",
+            "rows",
+            "similarity",
+            "pair_probability",
+            "mh_kmodes_probability",
+        }
+
+    def test_matches_direct_computation(self):
+        table = probability_table(5, [20], [0.3], cluster_size=10)
+        entry = table[0]
+        assert entry["pair_probability"] == pytest.approx(
+            1 - (1 - 0.3**5) ** 20
+        )
+        assert entry["mh_kmodes_probability"] == pytest.approx(
+            1 - (1 - 0.3**5) ** 200
+        )
+
+    def test_recall_never_below_pair_probability(self):
+        table = probability_table(2, [10, 50], [0.05, 0.2, 0.6])
+        for entry in table:
+            assert entry["mh_kmodes_probability"] >= entry["pair_probability"] - 1e-12

@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.shortlist."""
+
+import numpy as np
+import pytest
+
+from repro.core.shortlist import ShortlistAccumulator, apply_fallback
+from repro.exceptions import ConfigurationError
+
+
+class TestShortlistAccumulator:
+    def test_mean(self):
+        acc = ShortlistAccumulator()
+        acc.add(2)
+        acc.add(4)
+        assert acc.mean() == 3.0
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(ShortlistAccumulator().mean())
+
+    def test_max_tracking(self):
+        acc = ShortlistAccumulator()
+        for size in (3, 9, 1):
+            acc.add(size)
+        assert acc.max == 9
+
+    def test_add_many(self):
+        acc = ShortlistAccumulator()
+        acc.add_many(total=10, count=4, max_size=5)
+        assert acc.mean() == 2.5
+        assert acc.count == 4
+        assert acc.max == 5
+
+    def test_reset(self):
+        acc = ShortlistAccumulator()
+        acc.add(5)
+        acc.reset()
+        assert acc.count == 0
+        assert np.isnan(acc.mean())
+
+
+class TestApplyFallback:
+    def test_non_empty_passthrough(self):
+        shortlist = np.array([3, 1])
+        out = apply_fallback(shortlist, n_clusters=10, policy="full")
+        assert out is shortlist
+
+    def test_full_fallback_returns_all_clusters(self):
+        out = apply_fallback(np.empty(0, dtype=np.int64), 5, "full")
+        assert out.tolist() == [0, 1, 2, 3, 4]
+
+    def test_error_policy_raises_on_empty(self):
+        with pytest.raises(ConfigurationError):
+            apply_fallback(np.empty(0, dtype=np.int64), 5, "error")
+
+    def test_error_policy_passthrough_when_non_empty(self):
+        out = apply_fallback(np.array([2]), 5, "error")
+        assert out.tolist() == [2]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown fallback policy"):
+            apply_fallback(np.array([1]), 5, "sideways")

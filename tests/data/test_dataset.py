@@ -1,0 +1,72 @@
+"""Unit tests for CategoricalDataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import DataValidationError
+
+
+def make(n=10, m=4, k=3):
+    rng = np.random.default_rng(0)
+    return CategoricalDataset(
+        X=rng.integers(0, 5, (n, m)), labels=rng.integers(0, k, n), name="t"
+    )
+
+
+class TestConstruction:
+    def test_properties(self):
+        ds = make(12, 5, 3)
+        assert ds.n_items == 12
+        assert ds.n_attributes == 5
+        assert 1 <= ds.n_classes <= 3
+
+    def test_rejects_1d_X(self):
+        with pytest.raises(DataValidationError):
+            CategoricalDataset(X=np.array([1, 2]), labels=np.array([0, 0]))
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(DataValidationError):
+            CategoricalDataset(X=np.zeros((3, 2), dtype=int), labels=np.array([0]))
+
+    def test_rejects_float_X(self):
+        with pytest.raises(DataValidationError):
+            CategoricalDataset(X=np.zeros((2, 2)), labels=np.array([0, 1]))
+
+    def test_describe(self):
+        info = make().describe()
+        assert info["n_items"] == 10
+        assert info["name"] == "t"
+        assert "domain_size" in info
+
+
+class TestSubsample:
+    def test_size(self):
+        sub = make(20).subsample(5, seed=0)
+        assert sub.n_items == 5
+
+    def test_rows_come_from_parent(self):
+        ds = make(20)
+        sub = ds.subsample(8, seed=1)
+        parent_rows = {tuple(r) for r in ds.X.tolist()}
+        assert all(tuple(r) in parent_rows for r in sub.X.tolist())
+
+    def test_deterministic(self):
+        ds = make(20)
+        a = ds.subsample(6, seed=2)
+        b = ds.subsample(6, seed=2)
+        assert np.array_equal(a.X, b.X)
+
+    def test_rejects_oversample(self):
+        with pytest.raises(DataValidationError):
+            make(5).subsample(6)
+
+    def test_rejects_zero(self):
+        with pytest.raises(DataValidationError):
+            make(5).subsample(0)
+
+    def test_copies_are_independent(self):
+        ds = make(10)
+        sub = ds.subsample(10, seed=0)
+        sub.X[:] = 0
+        assert ds.X.max() > 0

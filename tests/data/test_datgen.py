@@ -1,0 +1,161 @@
+"""Unit tests for the datgen clone (repro.data.datgen)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datgen import ClusterRule, RuleBasedGenerator
+from repro.exceptions import ConfigurationError
+
+
+class TestClusterRule:
+    def test_width(self):
+        rule = ClusterRule(np.array([0, 2]), np.array([5, 9]))
+        assert rule.width == 2
+
+    def test_matches(self):
+        rule = ClusterRule(np.array([0, 2]), np.array([5, 9]))
+        assert rule.matches(np.array([5, 100, 9]))
+        assert not rule.matches(np.array([5, 100, 8]))
+
+
+class TestRules:
+    def test_rule_count(self):
+        gen = RuleBasedGenerator(n_clusters=7, n_attributes=20, seed=0)
+        assert len(gen.rules) == 7
+
+    def test_rule_widths_within_fraction(self):
+        gen = RuleBasedGenerator(
+            n_clusters=30, n_attributes=50, rule_width_fraction=(0.4, 0.8), seed=1
+        )
+        for rule in gen.rules:
+            assert 20 <= rule.width <= 40
+
+    def test_rules_deterministic(self):
+        a = RuleBasedGenerator(n_clusters=5, n_attributes=10, seed=2)
+        b = RuleBasedGenerator(n_clusters=5, n_attributes=10, seed=2)
+        for ra, rb in zip(a.rules, b.rules):
+            assert np.array_equal(ra.attributes, rb.attributes)
+            assert np.array_equal(ra.values, rb.values)
+
+    def test_rules_stable_across_generate_calls(self):
+        gen = RuleBasedGenerator(n_clusters=5, n_attributes=10, seed=3)
+        before = [(r.attributes.copy(), r.values.copy()) for r in gen.rules]
+        gen.generate(50)
+        gen.generate(80)
+        for (attrs, values), rule in zip(before, gen.rules):
+            assert np.array_equal(attrs, rule.attributes)
+            assert np.array_equal(values, rule.values)
+
+    def test_rule_attributes_unique_and_sorted(self):
+        gen = RuleBasedGenerator(n_clusters=10, n_attributes=30, seed=4)
+        for rule in gen.rules:
+            assert np.array_equal(rule.attributes, np.unique(rule.attributes))
+
+
+class TestGenerate:
+    def test_shapes(self):
+        ds = RuleBasedGenerator(n_clusters=5, n_attributes=12, seed=5).generate(100)
+        assert ds.X.shape == (100, 12)
+        assert ds.labels.shape == (100,)
+
+    def test_noise_free_items_satisfy_their_rule(self):
+        gen = RuleBasedGenerator(n_clusters=8, n_attributes=16, seed=6)
+        ds = gen.generate(200)
+        for i in range(200):
+            assert gen.rules[ds.labels[i]].matches(ds.X[i])
+
+    def test_values_within_domain(self):
+        ds = RuleBasedGenerator(
+            n_clusters=4, n_attributes=8, domain_size=100, seed=7
+        ).generate(50)
+        assert ds.X.min() >= 0
+        assert ds.X.max() < 100
+
+    def test_deterministic(self):
+        a = RuleBasedGenerator(n_clusters=4, n_attributes=8, seed=8).generate(60)
+        b = RuleBasedGenerator(n_clusters=4, n_attributes=8, seed=8).generate(60)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_equal_balance(self):
+        ds = RuleBasedGenerator(
+            n_clusters=5, n_attributes=8, balance="equal", seed=9
+        ).generate(100)
+        assert np.bincount(ds.labels).tolist() == [20] * 5
+
+    def test_zipf_balance_is_skewed(self):
+        ds = RuleBasedGenerator(
+            n_clusters=10, n_attributes=8, balance="zipf", seed=10
+        ).generate(2_000)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert counts[0] > 2 * counts[5]
+
+    def test_noise_corrupts_rule_attributes(self):
+        gen = RuleBasedGenerator(
+            n_clusters=4, n_attributes=20, noise_rate=0.5, seed=11
+        )
+        ds = gen.generate(200)
+        violations = sum(
+            not gen.rules[ds.labels[i]].matches(ds.X[i]) for i in range(200)
+        )
+        assert violations > 100  # half-rate noise must break most items
+
+    def test_metadata_provenance(self):
+        gen = RuleBasedGenerator(n_clusters=3, n_attributes=6, seed=12)
+        ds = gen.generate(30)
+        assert ds.metadata["generator"] == "RuleBasedGenerator"
+        assert ds.metadata["seed"] == 12
+
+    def test_within_cluster_similarity_exceeds_between(self):
+        gen = RuleBasedGenerator(n_clusters=4, n_attributes=20, seed=13)
+        ds = gen.generate(100)
+        same = within = 0
+        diff = between = 0
+        for i in range(0, 100, 3):
+            for j in range(i + 1, 100, 7):
+                matches = int(np.sum(ds.X[i] == ds.X[j]))
+                if ds.labels[i] == ds.labels[j]:
+                    within += matches
+                    same += 1
+                else:
+                    between += matches
+                    diff += 1
+        assert same > 0 and diff > 0
+        assert within / same > 3 * (between / diff + 0.1)
+
+
+class TestValidation:
+    def test_rejects_bad_cluster_count(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(n_clusters=0, n_attributes=4)
+
+    def test_rejects_bad_attribute_count(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(n_clusters=2, n_attributes=0)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(n_clusters=2, n_attributes=4, domain_size=1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(
+                n_clusters=2, n_attributes=4, rule_width_fraction=(0.8, 0.4)
+            )
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(
+                n_clusters=2, n_attributes=4, rule_width_fraction=(0.0, 0.5)
+            )
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(n_clusters=2, n_attributes=4, noise_rate=1.0)
+
+    def test_rejects_bad_balance(self):
+        with pytest.raises(ConfigurationError):
+            RuleBasedGenerator(n_clusters=2, n_attributes=4, balance="heavy")
+
+    def test_rejects_bad_item_count(self):
+        gen = RuleBasedGenerator(n_clusters=2, n_attributes=4, seed=0)
+        with pytest.raises(ConfigurationError):
+            gen.generate(0)

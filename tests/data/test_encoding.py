@@ -1,0 +1,121 @@
+"""Unit tests for repro.data.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import (
+    CategoricalEncoder,
+    augment_presence_features,
+    encode_presence_matrix,
+)
+from repro.exceptions import DataValidationError, NotFittedError
+
+
+class TestCategoricalEncoder:
+    def test_roundtrip(self):
+        rows = [["red", "s"], ["blue", "m"], ["red", "m"]]
+        enc = CategoricalEncoder()
+        codes = enc.fit_transform(rows)
+        assert enc.inverse_transform(codes) == rows
+
+    def test_codes_first_seen_order(self):
+        enc = CategoricalEncoder()
+        codes = enc.fit_transform([["b"], ["a"], ["b"]])
+        assert codes.ravel().tolist() == [0, 1, 0]
+
+    def test_per_column_independence(self):
+        enc = CategoricalEncoder()
+        codes = enc.fit_transform([["x", "x"], ["y", "x"]])
+        assert codes[0].tolist() == [0, 0]
+        assert codes[1].tolist() == [1, 0]
+
+    def test_unknown_value_errors_by_default(self):
+        enc = CategoricalEncoder().fit([["a"]])
+        with pytest.raises(DataValidationError):
+            enc.transform([["b"]])
+
+    def test_unknown_value_code_policy(self):
+        enc = CategoricalEncoder(unknown="code").fit([["a"], ["b"]])
+        codes = enc.transform([["zzz"]])
+        assert codes[0, 0] == 2  # one shared unknown code per column
+
+    def test_ragged_rows_rejected(self):
+        enc = CategoricalEncoder()
+        with pytest.raises(DataValidationError):
+            enc.fit([["a", "b"], ["c"]])
+        enc.fit([["a", "b"]])
+        with pytest.raises(DataValidationError):
+            enc.transform([["a"]])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CategoricalEncoder().transform([["a"]])
+        with pytest.raises(NotFittedError):
+            CategoricalEncoder().inverse_transform(np.zeros((1, 1), dtype=int))
+        with pytest.raises(NotFittedError):
+            CategoricalEncoder().n_columns
+
+    def test_domain_sizes(self):
+        enc = CategoricalEncoder().fit([["a", "x"], ["b", "x"], ["c", "y"]])
+        assert enc.domain_sizes() == [3, 2]
+
+    def test_inverse_of_unknown_code_is_none(self):
+        enc = CategoricalEncoder().fit([["a"]])
+        assert enc.inverse_transform(np.array([[99]]))[0] == [None]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            CategoricalEncoder().fit([])
+        with pytest.raises(DataValidationError):
+            CategoricalEncoder().fit([[]])
+
+    def test_bad_policy(self):
+        with pytest.raises(DataValidationError):
+            CategoricalEncoder(unknown="skip")
+
+    def test_non_string_values(self):
+        enc = CategoricalEncoder()
+        codes = enc.fit_transform([[1, None], [2, None]])
+        assert codes[:, 1].tolist() == [0, 0]
+
+
+class TestEncodePresenceMatrix:
+    def test_basic(self):
+        out = encode_presence_matrix([["zoo", "a"], ["tax"]], ["zoo", "tax"])
+        assert out.tolist() == [[1, 0], [0, 1]]
+
+    def test_ignores_out_of_vocabulary(self):
+        out = encode_presence_matrix([["unknown"]], ["zoo"])
+        assert out.tolist() == [[0]]
+
+    def test_duplicates_collapse_to_one(self):
+        out = encode_presence_matrix([["zoo", "zoo"]], ["zoo"])
+        assert out.tolist() == [[1]]
+
+    def test_rejects_empty_vocabulary(self):
+        with pytest.raises(DataValidationError):
+            encode_presence_matrix([["a"]], [])
+
+    def test_rejects_duplicate_vocabulary(self):
+        with pytest.raises(DataValidationError):
+            encode_presence_matrix([["a"]], ["a", "a"])
+
+
+class TestAugmentPresenceFeatures:
+    def test_paper_example(self):
+        B = np.array([[1, 0]])
+        out = augment_presence_features(B, ["zoo", "tax"])
+        assert out[0].tolist() == ["zoo-1", "tax-0"]
+
+    def test_all_values_distinct_across_columns(self):
+        B = np.array([[1, 1], [0, 0]])
+        out = augment_presence_features(B, ["a", "b"])
+        assert len({v for row in out for v in row}) == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataValidationError):
+            augment_presence_features(np.array([[1, 0]]), ["only-one"])
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            augment_presence_features(np.array([1, 0]), ["a", "b"])

@@ -1,0 +1,88 @@
+"""Unit tests for dataset/corpus persistence."""
+
+import numpy as np
+import pytest
+
+from repro.data.datgen import RuleBasedGenerator
+from repro.data.io import load_corpus, load_dataset, save_corpus, save_dataset
+from repro.data.yahoo import YahooAnswersSynthesizer
+from repro.exceptions import DataValidationError
+
+
+@pytest.fixture
+def dataset():
+    return RuleBasedGenerator(n_clusters=4, n_attributes=6, seed=0).generate(30)
+
+
+@pytest.fixture
+def corpus():
+    return YahooAnswersSynthesizer(n_topics=6, seed=1).generate(40)
+
+
+class TestDatasetRoundTrip:
+    def test_exact_roundtrip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.X, dataset.X)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.name == dataset.name
+
+    def test_metadata_roundtrip(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+        assert loaded.metadata["generator"] == "RuleBasedGenerator"
+        assert loaded.metadata["seed"] == 0
+
+    def test_suffix_added(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "bare")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(DataValidationError):
+            load_dataset(path)
+
+    def test_parent_directories_created(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "deep" / "nest" / "ds.npz")
+        assert path.exists()
+
+
+class TestCorpusRoundTrip:
+    def test_exact_roundtrip(self, corpus, tmp_path):
+        path = save_corpus(corpus, tmp_path / "corpus.jsonl")
+        loaded = load_corpus(path)
+        assert loaded.questions == corpus.questions
+        assert np.array_equal(loaded.topics, corpus.topics)
+        assert np.array_equal(loaded.true_topics, corpus.true_topics)
+        assert loaded.topic_names == corpus.topic_names
+
+    def test_metadata_roundtrip(self, corpus, tmp_path):
+        path = save_corpus(corpus, tmp_path / "corpus.jsonl")
+        loaded = load_corpus(path)
+        assert loaded.metadata["generator"] == "YahooAnswersSynthesizer"
+
+    def test_suffix_added(self, corpus, tmp_path):
+        path = save_corpus(corpus, tmp_path / "bare")
+        assert path.suffix == ".jsonl"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataValidationError):
+            load_corpus(tmp_path / "absent.jsonl")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DataValidationError):
+            load_corpus(path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(DataValidationError):
+            load_corpus(path)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.data.text."""
+
+import pytest
+
+from repro.data.text import Vocabulary, tokenize
+from repro.exceptions import DataValidationError
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Zoo ZOO zoo") == ["zoo", "zoo", "zoo"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("do they, really do?") == ["do", "they", "really", "do"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert tokenize("it's 42") == ["it's", "42"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_paper_example(self):
+        question = (
+            "im interested in being a zoologist but im not sure what do "
+            "they really do.Does zoologist work only in zoo?"
+        )
+        tokens = tokenize(question)
+        assert "zoologist" in tokens
+        assert "zoo" in tokens
+
+
+class TestVocabulary:
+    def test_from_words_ids_follow_order(self):
+        vocab = Vocabulary.from_words(["b", "a", "c"])
+        assert vocab.id_of("b") == 0
+        assert vocab.id_of("c") == 2
+        assert vocab.word_of(1) == "a"
+
+    def test_from_words_rejects_duplicates(self):
+        with pytest.raises(DataValidationError):
+            Vocabulary.from_words(["a", "a"])
+
+    def test_fit_first_seen_order(self):
+        vocab = Vocabulary().fit([["x", "y"], ["y", "z"]])
+        assert vocab.id_of("x") == 0
+        assert vocab.id_of("z") == 2
+
+    def test_document_frequency_counts_documents_not_tokens(self):
+        vocab = Vocabulary().fit([["a", "a", "b"], ["a"]])
+        assert vocab.document_frequency["a"] == 2
+        assert vocab.document_frequency["b"] == 1
+
+    def test_n_documents(self):
+        vocab = Vocabulary().fit([["a"], ["b"], []])
+        assert vocab.n_documents == 3
+
+    def test_contains(self):
+        vocab = Vocabulary.from_words(["q"])
+        assert "q" in vocab
+        assert "r" not in vocab
+
+    def test_len(self):
+        assert len(Vocabulary.from_words(["a", "b"])) == 2
+
+    def test_encode_skips_unknown(self):
+        vocab = Vocabulary.from_words(["a", "b"])
+        assert vocab.encode(["a", "mystery", "b", "a"]) == [0, 1, 0]
+
+    def test_words_returns_copy(self):
+        vocab = Vocabulary.from_words(["a"])
+        words = vocab.words
+        words.append("b")
+        assert len(vocab) == 1
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary.from_words(["a"]).id_of("b")

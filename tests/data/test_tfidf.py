@@ -1,0 +1,110 @@
+"""Unit tests for repro.data.tfidf (Section IV-B word selection)."""
+
+import pytest
+
+from repro.data.tfidf import TfIdfVectorizer, select_topic_vocabulary
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+@pytest.fixture
+def topic_docs():
+    # Three "topics": zoology, tax, cooking — sharing filler words.
+    return [
+        ["zoo", "zoologist", "animal", "the", "a", "the", "zoo", "zoo"],
+        ["tax", "income", "refund", "the", "a", "the", "tax", "tax"],
+        ["recipe", "oven", "bake", "the", "a", "the", "recipe", "recipe"],
+    ]
+
+
+class TestTfIdfVectorizer:
+    def test_topic_words_beat_filler(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        assert vec.score("zoo", 0) > vec.score("the", 0)
+        assert vec.score("tax", 1) > vec.score("a", 1)
+
+    def test_word_in_every_document_scores_zero(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        assert vec.idf("the") == 0.0
+        assert vec.score("the", 0) == 0.0
+
+    def test_unique_word_has_max_idf(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        assert vec.idf("zoologist") == pytest.approx(1.0)
+
+    def test_absent_word_scores_zero(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        assert vec.score("quantum", 0) == 0.0
+
+    def test_scores_bounded(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        for doc in range(3):
+            for word, score in vec.document_scores(doc).items():
+                assert 0.0 <= score <= 1.0, word
+
+    def test_most_frequent_unique_word_scores_one(self):
+        vec = TfIdfVectorizer().fit([["only", "only"], ["other"]])
+        assert vec.score("only", 0) == pytest.approx(1.0)
+
+    def test_document_scores_complete(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        scores = vec.document_scores(0)
+        assert set(scores) == set(topic_docs[0])
+
+    def test_document_index_validated(self, topic_docs):
+        vec = TfIdfVectorizer().fit(topic_docs)
+        with pytest.raises(DataValidationError):
+            vec.score("zoo", 3)
+        with pytest.raises(DataValidationError):
+            vec.document_scores(-1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(DataValidationError):
+            TfIdfVectorizer().score("zoo", 0)
+
+    def test_rejects_zero_documents(self):
+        with pytest.raises(DataValidationError):
+            TfIdfVectorizer().fit([])
+
+    def test_single_document_all_idf_zero(self):
+        vec = TfIdfVectorizer().fit([["a", "b"]])
+        assert vec.idf("a") == 0.0
+
+
+class TestSelectTopicVocabulary:
+    def test_selects_topic_keywords(self, topic_docs):
+        vocab = select_topic_vocabulary(topic_docs, threshold=0.5)
+        assert "zoo" in vocab
+        assert "tax" in vocab
+        assert "recipe" in vocab
+
+    def test_excludes_ubiquitous_words(self, topic_docs):
+        vocab = select_topic_vocabulary(topic_docs, threshold=0.1)
+        assert "the" not in vocab
+        assert "a" not in vocab
+
+    def test_lower_threshold_grows_vocabulary(self, topic_docs):
+        high = select_topic_vocabulary(topic_docs, threshold=0.9)
+        low = select_topic_vocabulary(topic_docs, threshold=0.2)
+        assert set(high) <= set(low)
+        assert len(low) > len(high)
+
+    def test_max_words_per_topic_caps_contribution(self, topic_docs):
+        capped = select_topic_vocabulary(
+            topic_docs, threshold=0.1, max_words_per_topic=1
+        )
+        # One word per topic at most (the union may be smaller).
+        assert len(capped) <= 3
+
+    def test_sorted_deterministic(self, topic_docs):
+        vocab = select_topic_vocabulary(topic_docs, threshold=0.3)
+        assert vocab == sorted(vocab)
+
+    def test_threshold_validated(self, topic_docs):
+        with pytest.raises(ConfigurationError):
+            select_topic_vocabulary(topic_docs, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            select_topic_vocabulary(topic_docs, threshold=1.5)
+
+    def test_cap_validated(self, topic_docs):
+        with pytest.raises(ConfigurationError):
+            select_topic_vocabulary(topic_docs, threshold=0.5, max_words_per_topic=0)

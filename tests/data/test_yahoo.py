@@ -1,0 +1,120 @@
+"""Unit tests for the Yahoo!-Answers-like corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.yahoo import QuestionCorpus, YahooAnswersSynthesizer, corpus_to_dataset
+from repro.exceptions import ConfigurationError, DataValidationError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return YahooAnswersSynthesizer(n_topics=40, seed=3).generate(800)
+
+
+class TestGeneration:
+    def test_counts(self, corpus):
+        assert corpus.n_questions == 800
+        assert corpus.n_topics == 40
+
+    def test_deterministic(self):
+        a = YahooAnswersSynthesizer(n_topics=10, seed=1).generate(50)
+        b = YahooAnswersSynthesizer(n_topics=10, seed=1).generate(50)
+        assert a.questions == b.questions
+        assert np.array_equal(a.topics, b.topics)
+
+    def test_minimum_question_length(self, corpus):
+        assert all(len(q) >= 3 for q in corpus.questions)
+
+    def test_label_noise_rate_close_to_configured(self):
+        corpus = YahooAnswersSynthesizer(
+            n_topics=20, label_noise=0.2, seed=4
+        ).generate(3_000)
+        assert corpus.label_noise_rate() == pytest.approx(0.2, abs=0.03)
+
+    def test_zero_label_noise(self):
+        corpus = YahooAnswersSynthesizer(
+            n_topics=10, label_noise=0.0, seed=5
+        ).generate(200)
+        assert corpus.label_noise_rate() == 0.0
+        assert np.array_equal(corpus.topics, corpus.true_topics)
+
+    def test_questions_contain_topic_keywords(self):
+        corpus = YahooAnswersSynthesizer(
+            n_topics=10, keyword_rate=0.9, keyword_bleed=0.0, label_noise=0.0, seed=6
+        ).generate(100)
+        hits = 0
+        for tokens, topic in zip(corpus.questions, corpus.true_topics):
+            prefix = f"kw{int(topic):05d}x"
+            if any(t.startswith(prefix) for t in tokens):
+                hits += 1
+        assert hits > 95
+
+    def test_topic_documents_grouping(self, corpus):
+        docs = corpus.topic_documents()
+        assert len(docs) == corpus.n_topics
+        total = sum(len(d) for d in docs)
+        assert total == sum(len(q) for q in corpus.questions)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            YahooAnswersSynthesizer(n_topics=1)
+        with pytest.raises(ConfigurationError):
+            YahooAnswersSynthesizer(n_topics=5, keyword_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            YahooAnswersSynthesizer(n_topics=5, mean_question_length=1.0)
+        with pytest.raises(ConfigurationError):
+            YahooAnswersSynthesizer(n_topics=5, zipf_exponent=1.0)
+        with pytest.raises(ConfigurationError):
+            YahooAnswersSynthesizer(n_topics=5, keywords_per_topic=0)
+        with pytest.raises(ConfigurationError):
+            YahooAnswersSynthesizer(n_topics=5).generate(0)
+
+
+class TestQuestionCorpus:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataValidationError):
+            QuestionCorpus(
+                questions=[["a"]],
+                topics=np.array([0, 1]),
+                true_topics=np.array([0, 1]),
+                topic_names=["t0", "t1"],
+            )
+
+
+class TestCorpusToDataset:
+    def test_pipeline_shapes(self, corpus):
+        ds = corpus_to_dataset(corpus, tfidf_threshold=0.3)
+        assert ds.n_items == corpus.n_questions
+        assert ds.n_attributes == len(ds.metadata["vocabulary"])
+        assert set(np.unique(ds.X)) <= {0, 1}
+
+    def test_labels_are_user_topics(self, corpus):
+        ds = corpus_to_dataset(corpus, tfidf_threshold=0.3)
+        assert np.array_equal(ds.labels, corpus.topics)
+
+    def test_lower_threshold_more_attributes(self, corpus):
+        high = corpus_to_dataset(corpus, tfidf_threshold=0.7)
+        low = corpus_to_dataset(corpus, tfidf_threshold=0.3)
+        assert low.n_attributes > high.n_attributes
+
+    def test_presence_bits_match_questions(self, corpus):
+        ds = corpus_to_dataset(corpus, tfidf_threshold=0.3)
+        vocab = ds.metadata["vocabulary"]
+        column = {word: j for j, word in enumerate(vocab)}
+        for i in (0, 5, 99):
+            present = {t for t in corpus.questions[i] if t in column}
+            on_bits = {vocab[j] for j in np.flatnonzero(ds.X[i])}
+            assert on_bits == present
+
+    def test_empty_vocabulary_raises(self):
+        # Every word appears in every topic → idf 0 everywhere → no
+        # word can clear any threshold and the pipeline must fail loudly.
+        degenerate = QuestionCorpus(
+            questions=[["same", "words"], ["same", "words"]],
+            topics=np.array([0, 1]),
+            true_topics=np.array([0, 1]),
+            topic_names=["t0", "t1"],
+        )
+        with pytest.raises(DataValidationError):
+            corpus_to_dataset(degenerate, tfidf_threshold=0.5)

@@ -1,0 +1,73 @@
+"""Unit tests for RunStats / IterationStats."""
+
+import numpy as np
+
+from repro.instrumentation.stats import IterationStats, RunStats
+
+
+class TestRecord:
+    def test_iteration_numbering(self):
+        stats = RunStats(algorithm="x")
+        first = stats.record(duration_s=0.5, moves=10)
+        second = stats.record(duration_s=0.4, moves=5)
+        assert first.iteration == 1
+        assert second.iteration == 2
+
+    def test_defaults(self):
+        stats = RunStats()
+        record = stats.record(duration_s=1.0, moves=3)
+        assert np.isnan(record.cost)
+        assert np.isnan(record.mean_shortlist)
+        assert record.n_empty_clusters == 0
+
+    def test_immutable_records(self):
+        record = IterationStats(1, 0.1, 2, 3.0, 4.0)
+        try:
+            record.moves = 99
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestAggregates:
+    def build(self):
+        stats = RunStats(algorithm="MH", setup_s=2.0)
+        stats.record(duration_s=1.0, moves=100, cost=50.0, mean_shortlist=3.0)
+        stats.record(duration_s=0.5, moves=10, cost=40.0, mean_shortlist=2.0)
+        stats.record(duration_s=0.5, moves=0, cost=40.0, mean_shortlist=2.0)
+        stats.converged = True
+        return stats
+
+    def test_series(self):
+        stats = self.build()
+        assert stats.iteration_times == [1.0, 0.5, 0.5]
+        assert stats.moves_per_iteration == [100, 10, 0]
+        assert stats.shortlist_sizes == [3.0, 2.0, 2.0]
+        assert stats.costs == [50.0, 40.0, 40.0]
+
+    def test_totals(self):
+        stats = self.build()
+        assert stats.total_time_s == 4.0  # setup + iterations
+        assert stats.mean_iteration_s == (2.0 / 3)
+        assert stats.total_moves == 110
+        assert stats.n_iterations == 3
+
+    def test_empty_run(self):
+        stats = RunStats()
+        assert stats.total_time_s == 0.0
+        assert stats.mean_iteration_s == 0.0
+        assert stats.total_moves == 0
+
+    def test_to_rows(self):
+        rows = self.build().to_rows()
+        assert len(rows) == 3
+        assert rows[0]["algorithm"] == "MH"
+        assert rows[2]["moves"] == 0
+
+    def test_summary(self):
+        summary = self.build().summary()
+        assert summary["algorithm"] == "MH"
+        assert summary["n_iterations"] == 3
+        assert summary["converged"] is True
+        assert summary["setup_s"] == 2.0

@@ -1,0 +1,55 @@
+"""Unit tests for Timer / StageTimer."""
+
+import time
+
+from repro.instrumentation.timer import StageTimer, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed_s >= 0.009
+
+    def test_lap_without_context(self):
+        timer = Timer()
+        assert timer.lap() == 0.0  # auto-restarts on first call
+        time.sleep(0.005)
+        assert timer.lap() >= 0.004
+
+    def test_restart(self):
+        timer = Timer()
+        timer.restart()
+        time.sleep(0.005)
+        first = timer.lap()
+        timer.restart()
+        assert timer.lap() < first
+
+
+class TestStageTimer:
+    def test_accumulates(self):
+        timer = StageTimer()
+        for _ in range(3):
+            with timer.stage("work"):
+                time.sleep(0.002)
+        assert timer.counts["work"] == 3
+        assert timer.total("work") >= 0.005
+
+    def test_mean(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            time.sleep(0.002)
+        assert timer.mean("a") == timer.total("a")
+
+    def test_unknown_stage_defaults(self):
+        timer = StageTimer()
+        assert timer.total("never") == 0.0
+        assert timer.mean("never") == 0.0
+
+    def test_separate_stages(self):
+        timer = StageTimer()
+        with timer.stage("x"):
+            pass
+        with timer.stage("y"):
+            pass
+        assert set(timer.totals) == {"x", "y"}

@@ -1,0 +1,94 @@
+"""Integration tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.datgen import RuleBasedGenerator
+from repro.data.io import save_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.npz"])
+        assert args.kind == "datgen"
+        assert args.items == 5_000
+
+    def test_cluster_requires_k(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "ds.npz"])
+
+
+class TestGenerateCommand:
+    def test_datgen_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        code = main(
+            [
+                "generate", str(out),
+                "--items", "120", "--clusters", "12",
+                "--attributes", "10", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_yahoo_kind(self, tmp_path, capsys):
+        out = tmp_path / "yahoo.npz"
+        code = main(
+            [
+                "generate", str(out), "--kind", "yahoo",
+                "--items", "150", "--clusters", "10",
+                "--tfidf-threshold", "0.3", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+
+class TestClusterCommand:
+    @pytest.fixture
+    def dataset_path(self, tmp_path):
+        ds = RuleBasedGenerator(n_clusters=8, n_attributes=10, seed=4).generate(150)
+        return save_dataset(ds, tmp_path / "ds.npz")
+
+    def test_mh_kmodes_run(self, dataset_path, capsys):
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--bands", "8", "--rows", "2", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MH-K-Modes 8b 2r" in out
+        assert "purity" in out
+
+    def test_kmodes_run(self, dataset_path, capsys):
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--algorithm", "kmodes", "--clusters", "8", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        assert "K-Modes" in capsys.readouterr().out
+
+
+class TestTablesCommand:
+    def test_prints_both_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table II" in out
+        assert "0.65" in out  # Table I row (10, 0.1)
+
+
+class TestCompareCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["compare", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""Integration: the Section III-C error bound holds empirically."""
+
+import numpy as np
+
+from repro.core.error_bound import cluster_recall_probability
+from repro.lsh.bands import compute_band_keys
+from repro.lsh.minhash import MinHasher
+from repro.lsh.tokens import TokenSets
+
+
+def _collision_rate(sim: float, bands: int, rows: int, trials: int = 400) -> float:
+    """Empirical candidate-pair rate for pairs of known Jaccard similarity."""
+    rng = np.random.default_rng(99)
+    universe = 1_000_000
+    size = 60
+    shared = int(round(size * 2 * sim / (1 + sim)))  # |A∩B| giving J=sim
+    hits = 0
+    mh = MinHasher(bands * rows, seed=1)
+    for trial in range(trials):
+        common = rng.choice(universe, shared, replace=False)
+        only_a = universe + rng.choice(universe, size - shared, replace=False)
+        only_b = 2 * universe + rng.choice(universe, size - shared, replace=False)
+        ts = TokenSets.from_lists(
+            [np.concatenate([common, only_a]), np.concatenate([common, only_b])]
+        )
+        sigs = MinHasher(bands * rows, seed=trial).signatures(ts)
+        keys = compute_band_keys(sigs, bands, rows)
+        if np.any(keys[0] == keys[1]):
+            hits += 1
+    return hits / trials
+
+
+class TestCandidatePairProbability:
+    def test_matches_theory_mid_similarity(self):
+        # J = 0.5, b = 10, r = 2 → theory 0.945.
+        from repro.lsh.bands import band_probability
+
+        empirical = _collision_rate(0.5, bands=10, rows=2)
+        assert abs(empirical - band_probability(0.5, 10, 2)) < 0.06
+
+    def test_matches_theory_low_similarity(self):
+        # J = 0.2, b = 10, r = 2 → theory 0.33.
+        from repro.lsh.bands import band_probability
+
+        empirical = _collision_rate(0.2, bands=10, rows=2)
+        assert abs(empirical - band_probability(0.2, 10, 2)) < 0.08
+
+
+class TestClusterRecallBound:
+    def test_empirical_recall_at_least_theoretical(self):
+        """Clusters of c similar items are found at >= the bound's rate.
+
+        Builds many (query, cluster) pairs where each of the c cluster
+        members has Jaccard ~s with the query, indexes everything, and
+        checks the true cluster reaches the shortlist at least as often
+        as 1-(1-s^r)^(b·c) predicts (the bound assumes similarity
+        *exactly* s; members here have similarity >= s, so the
+        empirical rate must dominate).
+        """
+        rng = np.random.default_rng(5)
+        bands, rows, c = 8, 2, 5
+        sim = 0.5
+        size = 40
+        shared = int(round(size * 2 * sim / (1 + sim)))
+        trials = 150
+        found = 0
+        for trial in range(trials):
+            base = rng.choice(500_000, size, replace=False)
+            members = []
+            for _ in range(c):
+                keep = rng.choice(size, shared, replace=False)
+                fresh = 500_000 + rng.choice(500_000, size - shared, replace=False)
+                members.append(np.concatenate([base[keep], fresh]))
+            ts = TokenSets.from_lists([base] + members)
+            sigs = MinHasher(bands * rows, seed=trial).signatures(ts)
+            keys = compute_band_keys(sigs, bands, rows)
+            collides = np.any(keys[1:] == keys[0][None, :], axis=1)
+            if collides.any():
+                found += 1
+        empirical = found / trials
+        theoretical = cluster_recall_probability(sim, bands, rows, c)
+        assert empirical >= theoretical - 0.08

@@ -1,0 +1,33 @@
+"""Unit tests for the plain-text table renderer."""
+
+from repro.experiments.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        # All lines share one width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_separator_under_header(self):
+        text = format_table(["col"], [[1]])
+        lines = text.splitlines()
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_right_justified_cells(self):
+        text = format_table(["num"], [[7]])
+        assert text.splitlines()[2].endswith("7")
+
+    def test_wide_cell_wins_column_width(self):
+        text = format_table(["x"], [["wide-value"]])
+        assert "wide-value" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_mixed_types_stringified(self):
+        text = format_table(["v"], [[1.5], [True], [None]])
+        assert "1.5" in text and "True" in text and "None" in text

@@ -1,0 +1,127 @@
+"""Unit tests for the KMeans baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.kmeans.kmeans import KMeans, _squared_distances
+from repro.metrics.external import adjusted_rand_index
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    centres = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    labels = rng.integers(0, 3, 120)
+    X = centres[labels] + rng.normal(0, 0.3, (120, 2))
+    return X, labels
+
+
+class TestSquaredDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((10, 4))
+        C = rng.standard_normal((3, 4))
+        naive = ((X[:, None, :] - C[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(_squared_distances(X, C), naive)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((50, 8)) * 1e-8  # cancellation-prone
+        assert _squared_distances(X, X).min() >= 0.0
+
+
+class TestFit:
+    def test_recovers_blobs(self, blobs):
+        X, truth = blobs
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        assert adjusted_rand_index(model.labels_, truth) > 0.95
+
+    def test_sse_non_increasing(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, seed=1).fit(X)
+        costs = model.stats_.costs
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = KMeans(n_clusters=3, seed=2).fit(X)
+        b = KMeans(n_clusters=3, seed=2).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_kmeanspp_init(self, blobs):
+        X, truth = blobs
+        model = KMeans(n_clusters=3, init="kmeans++", seed=3).fit(X)
+        assert adjusted_rand_index(model.labels_, truth) > 0.95
+
+    def test_explicit_initial_centroids(self, blobs):
+        X, _ = blobs
+        init = X[:3].copy()
+        model = KMeans(n_clusters=3, seed=4).fit(X, initial_centroids=init)
+        assert model.converged_
+
+    def test_empty_cluster_keeps_previous_centroid(self):
+        X = np.array([[0.0], [0.1], [0.2]])
+        init = np.array([[0.1], [99.0]])
+        model = KMeans(n_clusters=2, seed=0).fit(X, initial_centroids=init)
+        assert model.centroids_[1, 0] == pytest.approx(99.0)
+
+    def test_predict(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, seed=5).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict(np.zeros((1, 2)))
+
+    def test_fit_predict(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, seed=6)
+        assert np.array_equal(model.fit_predict(X), model.labels_)
+
+
+class TestValidation:
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError):
+            KMeans(n_clusters=1, seed=0).fit(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataValidationError):
+            KMeans(n_clusters=1, seed=0).fit(np.array([[np.inf, 1.0]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            KMeans(n_clusters=1, seed=0).fit(np.empty((0, 2)))
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=5, seed=0).fit(np.zeros((2, 2)))
+
+    def test_rejects_bad_init_name(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(n_clusters=2, init="furthest")
+
+    def test_predict_feature_mismatch(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=2, seed=0).fit(X)
+        with pytest.raises(DataValidationError):
+            model.predict(np.zeros((1, 5)))
+
+
+class TestEdgeCases:
+    def test_identical_points(self):
+        X = np.tile([1.0, 2.0], (10, 1))
+        model = KMeans(n_clusters=2, seed=0).fit(X)
+        assert model.cost_ == pytest.approx(0.0)
+
+    def test_k_equals_n(self):
+        X = np.arange(6, dtype=np.float64).reshape(3, 2)
+        model = KMeans(n_clusters=3, seed=0).fit(X)
+        assert model.cost_ == pytest.approx(0.0)
+
+    def test_kmeanspp_with_duplicates(self):
+        # D² sampling must not crash when all remaining mass is zero.
+        X = np.vstack([np.tile([0.0, 0.0], (5, 1)), [[1.0, 1.0]]])
+        model = KMeans(n_clusters=3, init="kmeans++", seed=0).fit(X)
+        assert model.labels_ is not None

@@ -1,0 +1,98 @@
+"""Unit tests for MiniBatchKMeans (Sculley baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.kmeans.minibatch import MiniBatchKMeans
+from repro.metrics.external import adjusted_rand_index
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(3)
+    centres = np.array([[0.0, 0.0], [8.0, 8.0]])
+    labels = rng.integers(0, 2, 200)
+    return centres[labels] + rng.normal(0, 0.4, (200, 2)), labels
+
+
+class TestFit:
+    def test_recovers_well_separated_blobs(self, blobs):
+        X, truth = blobs
+        model = MiniBatchKMeans(n_clusters=2, batch_size=50, max_iter=80, seed=0).fit(X)
+        assert adjusted_rand_index(model.labels_, truth) > 0.95
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = MiniBatchKMeans(n_clusters=2, seed=1).fit(X)
+        b = MiniBatchKMeans(n_clusters=2, seed=1).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_early_stop_on_tolerance(self, blobs):
+        X, _ = blobs
+        model = MiniBatchKMeans(
+            n_clusters=2, batch_size=100, max_iter=500, tol=1e-4, seed=2
+        ).fit(X)
+        assert model.n_iter_ < 500
+        assert model.converged_
+
+    def test_no_early_stop_when_tol_zero(self, blobs):
+        X, _ = blobs
+        model = MiniBatchKMeans(
+            n_clusters=2, batch_size=20, max_iter=15, tol=0.0, seed=3
+        ).fit(X)
+        assert model.n_iter_ == 15
+        assert not model.converged_
+
+    def test_batch_larger_than_dataset_is_clamped(self):
+        X = np.random.default_rng(0).standard_normal((10, 2))
+        model = MiniBatchKMeans(n_clusters=2, batch_size=1000, max_iter=5, seed=0).fit(X)
+        assert model.labels_.shape == (10,)
+
+    def test_cost_populated_after_fit(self, blobs):
+        X, _ = blobs
+        model = MiniBatchKMeans(n_clusters=2, seed=4).fit(X)
+        assert np.isfinite(model.cost_)
+
+    def test_explicit_initial_centroids(self, blobs):
+        X, _ = blobs
+        init = X[:2].copy()
+        model = MiniBatchKMeans(n_clusters=2, seed=5).fit(X, initial_centroids=init)
+        assert model.centroids_.shape == (2, 2)
+
+    def test_predict(self, blobs):
+        X, _ = blobs
+        model = MiniBatchKMeans(n_clusters=2, seed=6).fit(X)
+        predicted = model.predict(X)
+        assert np.array_equal(predicted, model.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MiniBatchKMeans(n_clusters=2).predict(np.zeros((1, 2)))
+
+
+class TestValidation:
+    def test_constructor_checks(self):
+        with pytest.raises(ConfigurationError):
+            MiniBatchKMeans(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            MiniBatchKMeans(n_clusters=2, batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MiniBatchKMeans(n_clusters=2, max_iter=0)
+        with pytest.raises(ConfigurationError):
+            MiniBatchKMeans(n_clusters=2, tol=-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataValidationError):
+            MiniBatchKMeans(n_clusters=1, seed=0).fit(np.array([[np.nan]]))
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ConfigurationError):
+            MiniBatchKMeans(n_clusters=5, seed=0).fit(np.zeros((2, 2)))
+
+    def test_rejects_bad_initial_shape(self, blobs):
+        X, _ = blobs
+        with pytest.raises(DataValidationError):
+            MiniBatchKMeans(n_clusters=2, seed=0).fit(
+                X, initial_centroids=np.zeros((3, 2))
+            )

@@ -1,0 +1,105 @@
+"""Unit tests for repro.kmodes.dissimilarity (Equations 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.kmodes.dissimilarity import (
+    distances_to_modes,
+    matching_distance,
+    pairwise_matching,
+)
+
+
+class TestMatchingDistance:
+    def test_identical_items(self):
+        assert matching_distance(np.array([1, 2, 3]), np.array([1, 2, 3])) == 0
+
+    def test_completely_different(self):
+        assert matching_distance(np.array([1, 2]), np.array([3, 4])) == 2
+
+    def test_counts_mismatches(self):
+        assert matching_distance(np.array([1, 2, 3, 4]), np.array([1, 9, 3, 9])) == 2
+
+    def test_symmetry(self):
+        x, y = np.array([1, 5, 2]), np.array([1, 6, 3])
+        assert matching_distance(x, y) == matching_distance(y, x)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x, y, z = rng.integers(0, 4, (3, 10))
+            assert matching_distance(x, z) <= (
+                matching_distance(x, y) + matching_distance(y, z)
+            )
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            matching_distance(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataValidationError):
+            matching_distance(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestDistancesToModes:
+    def test_basic(self):
+        x = np.array([1, 2, 3])
+        modes = np.array([[1, 2, 3], [1, 2, 9], [7, 8, 9]])
+        assert distances_to_modes(x, modes).tolist() == [0, 1, 3]
+
+    def test_single_mode(self):
+        assert distances_to_modes(np.array([1]), np.array([[2]])).tolist() == [1]
+
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 5, 8)
+        modes = rng.integers(0, 5, (6, 8))
+        single = distances_to_modes(x, modes)
+        full = pairwise_matching(x[None, :], modes)[0]
+        assert np.array_equal(single, full)
+
+    def test_rejects_incompatible_modes(self):
+        with pytest.raises(DataValidationError):
+            distances_to_modes(np.array([1, 2]), np.array([[1, 2, 3]]))
+
+    def test_rejects_2d_item(self):
+        with pytest.raises(DataValidationError):
+            distances_to_modes(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestPairwiseMatching:
+    def test_shape(self):
+        A = np.zeros((3, 4), dtype=np.int64)
+        B = np.zeros((5, 4), dtype=np.int64)
+        assert pairwise_matching(A, B).shape == (3, 5)
+
+    def test_diagonal_zero_for_self_comparison(self):
+        rng = np.random.default_rng(2)
+        A = rng.integers(0, 3, (6, 5))
+        D = pairwise_matching(A, A)
+        assert np.all(np.diag(D) == 0)
+
+    def test_chunking_does_not_change_result(self):
+        rng = np.random.default_rng(3)
+        A = rng.integers(0, 4, (17, 6))
+        B = rng.integers(0, 4, (9, 6))
+        assert np.array_equal(
+            pairwise_matching(A, B, chunk_rows=3),
+            pairwise_matching(A, B, chunk_rows=1000),
+        )
+
+    def test_bounded_by_attribute_count(self):
+        rng = np.random.default_rng(4)
+        A = rng.integers(0, 2, (10, 7))
+        D = pairwise_matching(A, A)
+        assert D.max() <= 7
+        assert D.min() >= 0
+
+    def test_rejects_incompatible(self):
+        with pytest.raises(DataValidationError):
+            pairwise_matching(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(DataValidationError):
+            pairwise_matching(np.zeros((2, 3)), np.zeros((2, 3)), chunk_rows=0)

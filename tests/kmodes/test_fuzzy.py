@@ -1,0 +1,119 @@
+"""Unit tests for FuzzyKModes (Huang & Ng 1999, paper reference [21])."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.kmodes.fuzzy import FuzzyKModes
+from repro.metrics.purity import cluster_purity
+
+
+class TestFit:
+    def test_recovers_planted_clusters(self, small_planted_dataset):
+        # A sharp exponent (alpha near 1) approaches hard K-Modes and
+        # recovers the planted structure; larger alphas trade purity
+        # for softer memberships (checked separately below).
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=ds.n_classes, alpha=1.1, seed=0).fit(ds.X)
+        assert cluster_purity(model.labels_, ds.labels) > 0.85
+
+    def test_memberships_row_stochastic(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=6, alpha=1.5, seed=1).fit(ds.X)
+        sums = model.memberships_.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+        assert model.memberships_.min() >= 0.0
+
+    def test_labels_are_argmax_memberships(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=6, alpha=1.5, seed=2).fit(ds.X)
+        assert np.array_equal(model.labels_, model.memberships_.argmax(axis=1))
+
+    def test_cost_non_increasing(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=8, alpha=1.4, seed=3).fit(ds.X)
+        costs = model.stats_.costs
+        assert all(a >= b - 1e-6 for a, b in zip(costs, costs[1:]))
+
+    def test_deterministic(self, small_planted_dataset):
+        ds = small_planted_dataset
+        a = FuzzyKModes(n_clusters=5, alpha=1.5, seed=4).fit(ds.X)
+        b = FuzzyKModes(n_clusters=5, alpha=1.5, seed=4).fit(ds.X)
+        assert np.array_equal(a.labels_, b.labels_)
+        assert np.allclose(a.memberships_, b.memberships_)
+
+    def test_zero_distance_items_get_crisp_membership(self):
+        X = np.array([[1, 1], [1, 1], [9, 9], [9, 9]])
+        init = np.array([[1, 1], [9, 9]])
+        model = FuzzyKModes(n_clusters=2, alpha=2.0, seed=0).fit(
+            X, initial_modes=init
+        )
+        # Items identical to a mode must put all membership on it.
+        assert model.memberships_[0, 0] == pytest.approx(1.0)
+        assert model.memberships_[2, 1] == pytest.approx(1.0)
+
+    def test_large_alpha_blurs_memberships(self, small_planted_dataset):
+        ds = small_planted_dataset
+        sharp = FuzzyKModes(n_clusters=5, alpha=1.2, seed=5).fit(ds.X)
+        blurry = FuzzyKModes(n_clusters=5, alpha=4.0, seed=5).fit(ds.X)
+        # Entropy of memberships grows with alpha.
+        def mean_entropy(memberships):
+            p = np.clip(memberships, 1e-12, 1.0)
+            return float((-p * np.log(p)).sum(axis=1).mean())
+
+        assert mean_entropy(blurry.memberships_) > mean_entropy(sharp.memberships_)
+
+    def test_explicit_initial_modes(self, small_planted_dataset):
+        ds = small_planted_dataset
+        init = ds.X[:4].copy()
+        model = FuzzyKModes(n_clusters=4, seed=6).fit(ds.X, initial_modes=init)
+        assert model.modes_.shape == (4, ds.n_attributes)
+
+
+class TestPredict:
+    def test_predict_memberships_shape(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=5, seed=7).fit(ds.X)
+        memberships = model.predict_memberships(ds.X[:10])
+        assert memberships.shape == (10, 5)
+        assert np.allclose(memberships.sum(axis=1), 1.0)
+
+    def test_predict_hard_labels(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=5, seed=8).fit(ds.X)
+        labels = model.predict(ds.X[:10])
+        assert labels.shape == (10,)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            FuzzyKModes(n_clusters=2).predict(np.array([[1, 2]]))
+
+    def test_predict_attribute_check(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = FuzzyKModes(n_clusters=3, seed=9).fit(ds.X)
+        with pytest.raises(DataValidationError):
+            model.predict(ds.X[:, :-1])
+
+
+class TestValidation:
+    def test_rejects_alpha_at_or_below_one(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyKModes(n_clusters=2, alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            FuzzyKModes(n_clusters=2, alpha=0.5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyKModes(n_clusters=0)
+
+    def test_rejects_negative_tol(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyKModes(n_clusters=2, tol=-0.1)
+
+    def test_rejects_float_matrix(self):
+        with pytest.raises(DataValidationError):
+            FuzzyKModes(n_clusters=1, seed=0).fit(np.array([[0.5]]))
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ConfigurationError):
+            FuzzyKModes(n_clusters=3, seed=0).fit(np.array([[1], [2]]))

@@ -1,0 +1,107 @@
+"""Unit tests for repro.kmodes.initialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.kmodes.initialization import cao_init, huang_init, random_init, resolve_init
+
+
+@pytest.fixture
+def X():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 10, (50, 6))
+
+
+class TestRandomInit:
+    def test_selects_actual_items(self, X):
+        modes = random_init(X, 5, np.random.default_rng(1))
+        rows = {tuple(row) for row in X.tolist()}
+        assert all(tuple(mode) in rows for mode in modes.tolist())
+
+    def test_distinct_items(self, X):
+        rng = np.random.default_rng(2)
+        modes = random_init(X, 50, rng)  # select everything
+        assert len({tuple(m) for m in modes.tolist()}) == len(
+            {tuple(r) for r in X.tolist()}
+        )
+
+    def test_deterministic_given_rng(self, X):
+        a = random_init(X, 5, np.random.default_rng(3))
+        b = random_init(X, 5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_returns_copy(self, X):
+        modes = random_init(X, 3, np.random.default_rng(4))
+        modes[:] = -1
+        assert X.min() >= 0
+
+    def test_rejects_k_above_n(self, X):
+        with pytest.raises(ConfigurationError):
+            random_init(X, 51, np.random.default_rng(0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            random_init(np.empty((0, 3), dtype=np.int64), 1, np.random.default_rng(0))
+
+
+class TestHuangInit:
+    def test_shape(self, X):
+        modes = huang_init(X, 4, np.random.default_rng(5))
+        assert modes.shape == (4, X.shape[1])
+
+    def test_modes_are_actual_items(self, X):
+        modes = huang_init(X, 4, np.random.default_rng(6))
+        rows = {tuple(row) for row in X.tolist()}
+        assert all(tuple(mode) in rows for mode in modes.tolist())
+
+    def test_distinct_items_where_possible(self, X):
+        modes = huang_init(X, 6, np.random.default_rng(7))
+        assert len({tuple(m) for m in modes.tolist()}) == 6
+
+    def test_deterministic_given_rng(self, X):
+        a = huang_init(X, 4, np.random.default_rng(8))
+        b = huang_init(X, 4, np.random.default_rng(8))
+        assert np.array_equal(a, b)
+
+
+class TestCaoInit:
+    def test_shape(self, X):
+        assert cao_init(X, 5).shape == (5, X.shape[1])
+
+    def test_deterministic_without_rng(self, X):
+        assert np.array_equal(cao_init(X, 5), cao_init(X, 5))
+
+    def test_first_mode_has_max_density(self):
+        # One item repeated 5 times dominates every frequency table.
+        X = np.vstack([np.tile([7, 7, 7], (5, 1)), [[1, 2, 3]], [[4, 5, 6]]])
+        modes = cao_init(X, 2)
+        assert modes[0].tolist() == [7, 7, 7]
+
+    def test_modes_are_distinct_items(self, X):
+        modes = cao_init(X, 8)
+        assert len({tuple(m) for m in modes.tolist()}) == 8
+
+    def test_spreads_across_clusters(self):
+        # Two tight groups: the two chosen modes should straddle them.
+        rng = np.random.default_rng(1)
+        a = np.tile([1, 1, 1, 1], (20, 1)) + (rng.random((20, 4)) < 0.1)
+        b = np.tile([9, 9, 9, 9], (20, 1)) + (rng.random((20, 4)) < 0.1)
+        X = np.vstack([a, b]).astype(np.int64)
+        modes = cao_init(X, 2)
+        sides = {tuple(np.array(m) > 5) for m in modes.tolist()}
+        assert len(sides) == 2
+
+
+class TestResolveInit:
+    def test_known_methods(self):
+        assert resolve_init("random") is random_init
+        assert resolve_init("huang") is huang_init
+        assert resolve_init("cao") is cao_init
+
+    def test_case_insensitive(self):
+        assert resolve_init("Random") is random_init
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError, match="unknown init method"):
+            resolve_init("magic")

@@ -1,0 +1,221 @@
+"""Unit tests for the KModes estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.kmodes.kmodes import KModes
+from repro.metrics.purity import cluster_purity
+
+
+class TestFitBasics:
+    def test_recovers_planted_clusters(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=ds.n_classes, seed=0).fit(ds.X)
+        assert cluster_purity(model.labels_, ds.labels) > 0.9
+
+    def test_fitted_attributes(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=10, seed=0).fit(ds.X)
+        assert model.modes_.shape == (10, ds.n_attributes)
+        assert model.labels_.shape == (ds.n_items,)
+        assert model.n_iter_ >= 1
+        assert model.stats_ is not None
+        assert np.isfinite(model.cost_)
+
+    def test_labels_within_range(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=7, seed=1).fit(ds.X)
+        assert model.labels_.min() >= 0
+        assert model.labels_.max() < 7
+
+    def test_fit_predict_matches_labels(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=5, seed=2)
+        labels = model.fit_predict(ds.X)
+        assert np.array_equal(labels, model.labels_)
+
+    def test_deterministic_given_seed(self, small_planted_dataset):
+        ds = small_planted_dataset
+        a = KModes(n_clusters=6, seed=3).fit(ds.X)
+        b = KModes(n_clusters=6, seed=3).fit(ds.X)
+        assert np.array_equal(a.labels_, b.labels_)
+        assert np.array_equal(a.modes_, b.modes_)
+
+    def test_different_seeds_can_differ(self, small_planted_dataset):
+        ds = small_planted_dataset
+        a = KModes(n_clusters=6, seed=4).fit(ds.X)
+        b = KModes(n_clusters=6, seed=5).fit(ds.X)
+        # Not guaranteed in general, but holds for this fixture.
+        assert not np.array_equal(a.labels_, b.labels_)
+
+
+class TestConvergence:
+    def test_cost_monotonically_non_increasing(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=8, seed=6).fit(ds.X)
+        costs = model.stats_.costs
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_converged_run_reports_zero_final_moves(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=8, seed=7).fit(ds.X)
+        assert model.converged_
+        assert model.stats_.moves_per_iteration[-1] == 0
+
+    def test_first_iteration_moves_everything(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=8, seed=8).fit(ds.X)
+        assert model.stats_.moves_per_iteration[0] == ds.n_items
+
+    def test_max_iter_respected(self, medium_planted_dataset):
+        ds = medium_planted_dataset
+        model = KModes(n_clusters=60, seed=9, max_iter=2).fit(ds.X)
+        assert model.n_iter_ <= 2
+        if model.n_iter_ == 2 and model.stats_.moves_per_iteration[-1] > 0:
+            assert not model.converged_
+
+    def test_fixed_point_cost_is_stable(self, small_planted_dataset):
+        # Re-fitting from converged modes cannot increase the cost.
+        # (Labels may legally differ on distance ties: a fresh fit has
+        # no "current cluster" to keep, so ties break to lowest id.)
+        ds = small_planted_dataset
+        first = KModes(n_clusters=8, seed=10).fit(ds.X)
+        second = KModes(n_clusters=8, seed=10).fit(ds.X, initial_modes=first.modes_)
+        assert second.cost_ <= first.cost_
+        assert second.converged_
+
+
+class TestInitialModes:
+    def test_explicit_initial_modes_used(self, small_planted_dataset):
+        ds = small_planted_dataset
+        init = ds.X[:4].copy()
+        model = KModes(n_clusters=4, seed=11).fit(ds.X, initial_modes=init)
+        assert model.n_iter_ >= 1
+
+    def test_same_initial_modes_same_result_any_seed(self, small_planted_dataset):
+        # With fixed initial modes and no empty-cluster randomness the
+        # seed must not influence the outcome — the paper's protocol.
+        ds = small_planted_dataset
+        init = ds.X[10:16].copy()
+        a = KModes(n_clusters=6, seed=1).fit(ds.X, initial_modes=init)
+        b = KModes(n_clusters=6, seed=99).fit(ds.X, initial_modes=init)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_rejects_wrong_shape(self, small_planted_dataset):
+        ds = small_planted_dataset
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=4, seed=0).fit(ds.X, initial_modes=ds.X[:3])
+
+    def test_all_init_methods_run(self, small_planted_dataset):
+        ds = small_planted_dataset
+        for method in ("random", "huang", "cao"):
+            model = KModes(n_clusters=5, init=method, seed=12).fit(ds.X)
+            assert model.labels_ is not None, method
+
+
+class TestPredict:
+    def test_training_items_keep_their_cluster(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=8, seed=13).fit(ds.X)
+        predicted = model.predict(ds.X)
+        # A converged fit is a fixed point of nearest-mode assignment,
+        # up to ties which predict breaks by lowest cluster id.
+        distances_match = (
+            np.count_nonzero(ds.X != model.modes_[predicted], axis=1)
+            == np.count_nonzero(ds.X != model.modes_[model.labels_], axis=1)
+        )
+        assert np.all(distances_match)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KModes(n_clusters=2).predict(np.array([[1, 2]]))
+
+    def test_predict_checks_attribute_count(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=4, seed=14).fit(ds.X)
+        with pytest.raises(DataValidationError):
+            model.predict(ds.X[:, :-1])
+
+
+class TestValidation:
+    def test_rejects_float_matrix(self):
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=2, seed=0).fit(np.array([[0.5, 1.0]]))
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=1, seed=0).fit(np.array([[-1, 2]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=1, seed=0).fit(np.empty((0, 2), dtype=np.int64))
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=3, seed=0).fit(np.array([[1, 2], [3, 4]]))
+
+    def test_rejects_bad_constructor_args(self):
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=0)
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=2, max_iter=0)
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=2, chunk_items=0)
+        with pytest.raises(ConfigurationError):
+            KModes(n_clusters=2, init="unknown")
+
+
+class TestEdgeCases:
+    def test_k_equals_n(self):
+        X = np.array([[1, 1], [2, 2], [3, 3]])
+        model = KModes(n_clusters=3, seed=0).fit(X)
+        assert len(np.unique(model.labels_)) == 3
+        assert model.cost_ == 0
+
+    def test_single_cluster(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=1, seed=0).fit(ds.X)
+        assert np.all(model.labels_ == 0)
+
+    def test_constant_data(self):
+        X = np.tile([5, 6, 7], (20, 1))
+        model = KModes(n_clusters=3, seed=0).fit(X)
+        assert model.cost_ == 0
+        assert model.converged_
+
+    def test_single_item(self):
+        model = KModes(n_clusters=1, seed=0).fit(np.array([[1, 2, 3]]))
+        assert model.labels_.tolist() == [0]
+        assert model.modes_.tolist() == [[1, 2, 3]]
+
+    def test_single_attribute(self):
+        X = np.array([[0], [0], [9], [9]])
+        model = KModes(n_clusters=2, seed=0).fit(X)
+        assert cluster_purity(model.labels_, np.array([0, 0, 1, 1])) == 1.0
+
+    def test_duplicate_initial_modes_leave_empty_clusters(self):
+        X = np.array([[1, 1], [1, 1], [9, 9], [9, 9]])
+        init = np.array([[1, 1], [1, 1], [9, 9]])
+        model = KModes(n_clusters=3, seed=0).fit(X, initial_modes=init)
+        # Cluster 1 duplicates cluster 0's mode; the tie rule sends all
+        # items to the lower id and the 'keep' policy retains the mode.
+        assert model.converged_
+
+    def test_chunk_size_does_not_change_result(self, small_planted_dataset):
+        ds = small_planted_dataset
+        init = ds.X[:6].copy()
+        a = KModes(n_clusters=6, seed=0, chunk_items=7).fit(ds.X, initial_modes=init)
+        b = KModes(n_clusters=6, seed=0, chunk_items=500).fit(ds.X, initial_modes=init)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_track_cost_off_gives_nan_series(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=4, seed=0, track_cost=False).fit(ds.X)
+        assert all(np.isnan(c) for c in model.stats_.costs)
+        assert np.isfinite(model.cost_)  # final cost still computed
+
+    def test_stats_shortlist_equals_k(self, small_planted_dataset):
+        ds = small_planted_dataset
+        model = KModes(n_clusters=9, seed=0).fit(ds.X)
+        assert all(s == 9 for s in model.stats_.shortlist_sizes)

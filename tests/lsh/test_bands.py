@@ -1,0 +1,116 @@
+"""Unit tests for repro.lsh.bands."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.lsh.bands import (
+    band_probability,
+    compute_band_keys,
+    threshold_similarity,
+    validate_bands_rows,
+)
+
+
+class TestComputeBandKeys:
+    def test_shape(self):
+        sigs = np.arange(24).reshape(2, 12)
+        keys = compute_band_keys(sigs, bands=4, rows=3)
+        assert keys.shape == (2, 4)
+        assert keys.dtype == np.uint64
+
+    def test_identical_bands_collide(self):
+        a = np.array([[1, 2, 3, 4]])
+        b = np.array([[1, 2, 9, 9]])
+        keys_a = compute_band_keys(a, bands=2, rows=2)
+        keys_b = compute_band_keys(b, bands=2, rows=2)
+        assert keys_a[0, 0] == keys_b[0, 0]  # first band equal
+        assert keys_a[0, 1] != keys_b[0, 1]  # second band differs
+
+    def test_band_spaces_do_not_overlap(self):
+        # Same row values in different band positions must not produce
+        # the same key ("no overlapping between bands" in the paper).
+        sig = np.array([[7, 7]])
+        keys = compute_band_keys(sig, bands=2, rows=1)
+        assert keys[0, 0] != keys[0, 1]
+
+    def test_deterministic(self):
+        sigs = np.arange(40).reshape(4, 10)
+        assert np.array_equal(
+            compute_band_keys(sigs, 5, 2), compute_band_keys(sigs, 5, 2)
+        )
+
+    def test_row_order_within_band_matters(self):
+        a = compute_band_keys(np.array([[1, 2]]), bands=1, rows=2)
+        b = compute_band_keys(np.array([[2, 1]]), bands=1, rows=2)
+        assert a[0, 0] != b[0, 0]
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(DataValidationError):
+            compute_band_keys(np.zeros((2, 10), dtype=np.int64), bands=3, rows=3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            compute_band_keys(np.zeros(10, dtype=np.int64), bands=5, rows=2)
+
+    def test_single_band_single_row(self):
+        keys = compute_band_keys(np.array([[3], [3], [4]]), bands=1, rows=1)
+        assert keys[0, 0] == keys[1, 0]
+        assert keys[0, 0] != keys[2, 0]
+
+
+class TestBandProbability:
+    def test_matches_closed_form(self):
+        s, b, r = 0.3, 20, 5
+        assert band_probability(s, b, r) == pytest.approx(1 - (1 - s**r) ** b)
+
+    def test_monotone_in_similarity(self):
+        probs = [band_probability(s, 20, 5) for s in np.linspace(0, 1, 11)]
+        assert all(x <= y + 1e-12 for x, y in zip(probs, probs[1:]))
+
+    def test_monotone_in_bands(self):
+        assert band_probability(0.3, 50, 5) > band_probability(0.3, 20, 5)
+
+    def test_antitone_in_rows(self):
+        assert band_probability(0.3, 20, 2) > band_probability(0.3, 20, 5)
+
+    def test_extremes(self):
+        assert band_probability(0.0, 10, 2) == 0.0
+        assert band_probability(1.0, 10, 2) == 1.0
+
+    def test_rejects_out_of_range_similarity(self):
+        with pytest.raises(DataValidationError):
+            band_probability(1.5, 10, 2)
+        with pytest.raises(DataValidationError):
+            band_probability(-0.1, 10, 2)
+
+    def test_paper_table1_row(self):
+        # Table I: bands=10, s=0.1, r=1 → 0.65.
+        assert band_probability(0.1, 10, 1) == pytest.approx(0.65, abs=0.005)
+
+
+class TestThresholdSimilarity:
+    def test_closed_form(self):
+        assert threshold_similarity(20, 5) == pytest.approx((1 / 20) ** (1 / 5))
+
+    def test_half_probability_at_threshold(self):
+        # The threshold is where the S-curve crosses ~50 %.
+        for b, r in ((20, 5), (50, 5), (10, 2)):
+            s = threshold_similarity(b, r)
+            assert 0.35 < band_probability(s, b, r) < 0.75
+
+    def test_single_band_single_row(self):
+        assert threshold_similarity(1, 1) == 1.0
+
+    def test_more_bands_lower_threshold(self):
+        assert threshold_similarity(100, 5) < threshold_similarity(10, 5)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bands,rows", [(0, 1), (1, 0), (-1, 2), (2, -5)])
+    def test_rejects_nonpositive(self, bands, rows):
+        with pytest.raises(ConfigurationError):
+            validate_bands_rows(bands, rows)
+
+    def test_accepts_positive(self):
+        validate_bands_rows(1, 1)  # must not raise

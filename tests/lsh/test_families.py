@@ -1,0 +1,65 @@
+"""Unit tests for the LSH family registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lsh.families import (
+    LSHFamily,
+    available_families,
+    get_family,
+    register_family,
+)
+from repro.lsh.minhash import MinHasher
+from repro.lsh.pstable import PStableHasher
+from repro.lsh.simhash import SimHasher
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_families()
+        assert {"minhash", "simhash", "pstable"} <= set(names)
+
+    def test_get_minhash(self):
+        family = get_family("minhash", n_hashes=16, seed=1)
+        assert isinstance(family, MinHasher)
+        assert family.n_hashes == 16
+
+    def test_get_simhash(self):
+        assert isinstance(get_family("simhash", n_hashes=8, seed=0), SimHasher)
+
+    def test_get_pstable(self):
+        assert isinstance(get_family("pstable", n_hashes=8, seed=0), PStableHasher)
+
+    def test_lookup_case_insensitive(self):
+        assert isinstance(get_family("MinHash", n_hashes=4, seed=0), MinHasher)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown LSH family"):
+            get_family("no-such-family", n_hashes=4)
+
+    def test_reregistering_same_factory_is_noop(self):
+        register_family("minhash", MinHasher)  # must not raise
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_family("minhash", SimHasher)
+
+    def test_custom_family_registration(self):
+        class Constant:
+            def __init__(self, n_hashes: int = 1, seed: int = 0):
+                self.n_hashes = n_hashes
+
+            def signatures(self, data):
+                return np.zeros((len(data), self.n_hashes), dtype=np.int64)
+
+        register_family("constant-test", Constant)
+        family = get_family("constant-test", n_hashes=3)
+        assert family.signatures([1, 2]).shape == (2, 3)
+
+
+class TestProtocol:
+    def test_builtin_families_satisfy_protocol(self):
+        for name in ("minhash", "simhash", "pstable"):
+            family = get_family(name, n_hashes=4, seed=0)
+            assert isinstance(family, LSHFamily)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.lsh.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lsh.hashing import (
+    MERSENNE_PRIME_31,
+    UniversalHashFamily,
+    splitmix64,
+    stable_string_hash,
+)
+
+
+class TestUniversalHashFamily:
+    def test_output_shape(self):
+        family = UniversalHashFamily(8, seed=0)
+        out = family.hash_values(np.arange(5))
+        assert out.shape == (8, 5)
+
+    def test_values_within_modulus(self):
+        family = UniversalHashFamily(16, seed=1)
+        out = family.hash_values(np.arange(1000))
+        assert out.min() >= 0
+        assert out.max() < MERSENNE_PRIME_31
+
+    def test_deterministic_given_seed(self):
+        x = np.arange(100)
+        a = UniversalHashFamily(4, seed=42).hash_values(x)
+        b = UniversalHashFamily(4, seed=42).hash_values(x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x = np.arange(100)
+        a = UniversalHashFamily(4, seed=1).hash_values(x)
+        b = UniversalHashFamily(4, seed=2).hash_values(x)
+        assert not np.array_equal(a, b)
+
+    def test_mersenne_reduction_matches_modulo(self):
+        family = UniversalHashFamily(8, seed=3)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, MERSENNE_PRIME_31, size=2_000)
+        expected = (
+            family._a[:, None] * x[None, :] + family._b[:, None]
+        ) % MERSENNE_PRIME_31
+        assert np.array_equal(family.hash_values(x), expected)
+
+    def test_hash_with_matches_hash_values(self):
+        family = UniversalHashFamily(6, seed=5)
+        x = np.arange(50)
+        full = family.hash_values(x)
+        for i in range(6):
+            assert np.array_equal(family.hash_with(i, x), full[i])
+
+    def test_nonzero_a_coefficients(self):
+        family = UniversalHashFamily(512, seed=9)
+        a, _ = family.coefficients
+        assert np.all(a > 0)
+
+    def test_small_prime_fallback(self):
+        family = UniversalHashFamily(4, seed=0, prime=97)
+        out = family.hash_values(np.arange(50))
+        assert out.max() < 97
+
+    def test_len(self):
+        assert len(UniversalHashFamily(7, seed=0)) == 7
+
+    def test_rejects_nonpositive_n_hashes(self):
+        with pytest.raises(ConfigurationError):
+            UniversalHashFamily(0, seed=0)
+
+    def test_rejects_bad_prime(self):
+        with pytest.raises(ConfigurationError):
+            UniversalHashFamily(4, seed=0, prime=1)
+
+    def test_rejects_2d_input(self):
+        family = UniversalHashFamily(4, seed=0)
+        with pytest.raises(ValueError):
+            family.hash_values(np.zeros((2, 2), dtype=np.int64))
+
+    def test_coefficients_are_copies(self):
+        family = UniversalHashFamily(4, seed=0)
+        a, _ = family.coefficients
+        a[:] = 0
+        assert np.all(family.coefficients[0] > 0)
+
+
+class TestStableStringHash:
+    def test_deterministic(self):
+        assert stable_string_hash("zoo-1") == stable_string_hash("zoo-1")
+
+    def test_within_range(self):
+        for word in ("a", "zoo-0", "zoo-1", "überstraße", ""):
+            assert 0 <= stable_string_hash(word) < MERSENNE_PRIME_31
+
+    def test_distinct_for_similar_strings(self):
+        assert stable_string_hash("zoo-0") != stable_string_hash("zoo-1")
+
+    def test_custom_prime(self):
+        assert 0 <= stable_string_hash("x", prime=101) < 101
+
+    def test_distribution_roughly_uniform(self):
+        values = np.array(
+            [stable_string_hash(f"word{i}") for i in range(4_000)], dtype=np.float64
+        )
+        normalised = values / MERSENNE_PRIME_31
+        assert abs(normalised.mean() - 0.5) < 0.03
+        # Quartiles should each hold about a quarter of the values.
+        counts, _ = np.histogram(normalised, bins=4, range=(0, 1))
+        assert counts.min() > 0.2 * len(values) / 4 * 3
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        x = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_avalanche_on_single_bit(self):
+        a = splitmix64(np.array([0], dtype=np.uint64))[0]
+        b = splitmix64(np.array([1], dtype=np.uint64))[0]
+        flipped = bin(int(a) ^ int(b)).count("1")
+        assert 16 <= flipped <= 48  # roughly half of 64 bits
+
+    def test_no_collisions_on_small_range(self):
+        out = splitmix64(np.arange(100_000, dtype=np.uint64))
+        assert len(np.unique(out)) == 100_000
+
+    def test_does_not_mutate_input(self):
+        x = np.arange(5, dtype=np.uint64)
+        splitmix64(x)
+        assert np.array_equal(x, np.arange(5, dtype=np.uint64))

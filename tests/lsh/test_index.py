@@ -1,0 +1,188 @@
+"""Unit tests for repro.lsh.index (Algorithm 2's data structure)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.lsh.index import ClusteredLSHIndex
+from repro.lsh.minhash import MinHasher
+from repro.lsh.tokens import TokenSets
+
+
+def build_index(bands=8, rows=2, precompute=True):
+    """Index over 3 near-duplicate pairs + 1 outlier, clusters 0..3."""
+    rows_tokens = [
+        [1, 2, 3, 4],
+        [1, 2, 3, 5],      # near-duplicate of item 0
+        [100, 200, 300],
+        [100, 200, 301],   # near-duplicate of item 2
+        [9_000, 9_001],    # outlier
+    ]
+    ts = TokenSets.from_lists(rows_tokens)
+    sigs = MinHasher(bands * rows, seed=3).signatures(ts)
+    index = ClusteredLSHIndex(bands, rows, precompute_neighbours=precompute)
+    index.build(sigs, np.array([0, 1, 2, 3, 4]))
+    return index
+
+
+class TestBuild:
+    def test_requires_build_before_query(self):
+        index = ClusteredLSHIndex(4, 2)
+        with pytest.raises(NotFittedError):
+            index.candidate_clusters(0)
+        with pytest.raises(NotFittedError):
+            index.stats()
+
+    def test_rejects_mismatched_assignments(self):
+        sigs = np.zeros((3, 8), dtype=np.int64)
+        with pytest.raises(DataValidationError):
+            ClusteredLSHIndex(4, 2).build(sigs, np.array([0, 1]))
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(DataValidationError):
+            ClusteredLSHIndex(4, 2).build(
+                np.zeros((0, 8), dtype=np.int64), np.zeros(0, dtype=np.int64)
+            )
+
+    def test_rejects_2d_assignments(self):
+        sigs = np.zeros((3, 8), dtype=np.int64)
+        with pytest.raises(DataValidationError):
+            ClusteredLSHIndex(4, 2).build(sigs, np.zeros((3, 1), dtype=np.int64))
+
+    def test_rejects_bad_band_config(self):
+        with pytest.raises(ConfigurationError):
+            ClusteredLSHIndex(0, 2)
+
+    def test_n_items(self):
+        assert build_index().n_items == 5
+
+    def test_build_returns_self(self):
+        sigs = np.zeros((2, 8), dtype=np.int64)
+        index = ClusteredLSHIndex(4, 2)
+        assert index.build(sigs, np.array([0, 1])) is index
+
+
+class TestQueries:
+    def test_item_is_own_candidate(self):
+        index = build_index()
+        for i in range(5):
+            assert i in index.candidate_items(i).tolist()
+
+    def test_own_cluster_always_in_shortlist(self):
+        index = build_index()
+        for i in range(5):
+            assert i in index.candidate_clusters(i).tolist()
+
+    def test_near_duplicates_are_candidates(self):
+        index = build_index()
+        assert 1 in index.candidate_items(0).tolist()
+        assert 3 in index.candidate_items(2).tolist()
+
+    def test_outlier_isolated(self):
+        index = build_index()
+        assert index.candidate_items(4).tolist() == [4]
+
+    def test_shortlist_reflects_assignments(self):
+        index = build_index()
+        clusters = index.candidate_clusters(0)
+        assert set(clusters.tolist()) == {0, 1}
+
+    def test_precompute_matches_on_the_fly(self):
+        fast = build_index(precompute=True)
+        slow = build_index(precompute=False)
+        for i in range(5):
+            assert np.array_equal(fast.candidate_items(i), slow.candidate_items(i))
+
+    def test_neighbour_groups_only_when_precomputed(self):
+        assert build_index(precompute=True).neighbour_groups() is not None
+        assert build_index(precompute=False).neighbour_groups() is None
+
+    def test_identical_signatures_share_group(self):
+        ts = TokenSets.from_lists([[1, 2], [1, 2], [50, 60]])
+        sigs = MinHasher(8, seed=0).signatures(ts)
+        index = ClusteredLSHIndex(4, 2).build(sigs, np.arange(3))
+        groups = index.neighbour_groups()
+        assert groups is not None
+        group_of, _ = groups
+        assert group_of[0] == group_of[1]
+        assert group_of[0] != group_of[2]
+
+    def test_candidates_sorted_unique(self):
+        index = build_index()
+        for i in range(5):
+            c = index.candidate_items(i)
+            assert np.array_equal(c, np.unique(c))
+
+
+class TestNovelSignatureQueries:
+    def test_known_signature_finds_cluster(self):
+        ts = TokenSets.from_lists([[1, 2, 3, 4], [1, 2, 3, 5]])
+        mh = MinHasher(16, seed=3)
+        sigs = mh.signatures(ts)
+        index = ClusteredLSHIndex(8, 2).build(sigs, np.array([7, 7]))
+        novel = mh.signature(np.array([1, 2, 3, 4]))  # identical to item 0
+        assert index.candidate_clusters_for_signature(novel).tolist() == [7]
+
+    def test_unrelated_signature_returns_empty(self):
+        index = build_index()
+        mh = MinHasher(16, seed=3)
+        novel = mh.signature(np.array([777_777, 888_888]))
+        assert index.candidate_clusters_for_signature(novel).size == 0
+
+
+class TestAssignmentUpdates:
+    def test_update_assignment_changes_shortlist(self):
+        index = build_index()
+        index.update_assignment(1, 9)
+        assert 9 in index.candidate_clusters(0).tolist()
+
+    def test_set_assignments_bulk(self):
+        index = build_index()
+        index.set_assignments(np.array([5, 5, 5, 5, 5]))
+        assert index.candidate_clusters(0).tolist() == [5]
+
+    def test_set_assignments_shape_checked(self):
+        index = build_index()
+        with pytest.raises(DataValidationError):
+            index.set_assignments(np.array([1, 2]))
+
+    def test_assignments_property_is_copy(self):
+        index = build_index()
+        copy = index.assignments
+        copy[:] = 99
+        assert not np.array_equal(index.assignments, copy)
+
+    def test_assignments_view_is_live(self):
+        index = build_index()
+        view = index.assignments_view()
+        view[0] = 42
+        assert index.assignments[0] == 42
+        assert 42 in index.candidate_clusters(1).tolist()
+
+    def test_set_assignments_copies_input(self):
+        index = build_index()
+        arr = np.array([0, 0, 0, 0, 0])
+        index.set_assignments(arr)
+        arr[0] = 77
+        assert index.assignments[0] == 0
+
+
+class TestStats:
+    def test_stats_fields(self):
+        stats = build_index().stats()
+        assert stats.n_items == 5
+        assert stats.bands == 8
+        assert stats.rows == 2
+        assert stats.n_buckets > 0
+        assert stats.max_bucket_size >= 1
+        assert stats.mean_bucket_size > 0
+        assert stats.mean_neighbours >= 1.0
+
+    def test_mean_neighbours_nan_without_precompute(self):
+        stats = build_index(precompute=False).stats()
+        assert np.isnan(stats.mean_neighbours)
+
+    def test_bucket_count_bounded_by_bands_times_items(self):
+        index = build_index()
+        stats = index.stats()
+        assert stats.n_buckets <= 8 * 5

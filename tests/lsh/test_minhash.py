@@ -1,0 +1,160 @@
+"""Unit tests for repro.lsh.minhash (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.lsh.hashing import MERSENNE_PRIME_31
+from repro.lsh.minhash import EMPTY_SLOT, MinHasher
+from repro.lsh.tokens import TokenSets, encode_categorical_tokens
+from repro.metrics.jaccard import jaccard_similarity
+
+
+class TestSignature:
+    def test_shape_and_dtype(self):
+        sig = MinHasher(32, seed=0).signature(np.array([1, 2, 3]))
+        assert sig.shape == (32,)
+        assert sig.dtype == np.int64
+
+    def test_deterministic(self):
+        tokens = np.array([5, 10, 15])
+        assert np.array_equal(
+            MinHasher(16, seed=1).signature(tokens),
+            MinHasher(16, seed=1).signature(tokens),
+        )
+
+    def test_order_invariant(self):
+        mh = MinHasher(16, seed=2)
+        assert np.array_equal(
+            mh.signature(np.array([1, 2, 3])), mh.signature(np.array([3, 1, 2]))
+        )
+
+    def test_duplicate_invariant(self):
+        mh = MinHasher(16, seed=2)
+        assert np.array_equal(
+            mh.signature(np.array([1, 2])), mh.signature(np.array([1, 2, 2, 1]))
+        )
+
+    def test_identical_sets_identical_signatures(self):
+        mh = MinHasher(64, seed=3)
+        a = mh.signature(np.array([9, 8, 7]))
+        b = mh.signature(np.array([7, 8, 9]))
+        assert np.array_equal(a, b)
+
+    def test_empty_tokens_get_sentinel(self):
+        sig = MinHasher(8, seed=0).signature(np.array([], dtype=np.int64))
+        assert np.all(sig == EMPTY_SLOT)
+
+    def test_sentinel_never_collides_with_real_hash(self):
+        mh = MinHasher(64, seed=4)
+        sig = mh.signature(np.arange(100))
+        assert sig.max() < EMPTY_SLOT
+
+    def test_signature_is_min_over_token_hashes(self):
+        mh = MinHasher(8, seed=5)
+        tokens = np.array([10, 20, 30])
+        per_token = np.stack([mh.signature(np.array([t])) for t in tokens])
+        assert np.array_equal(mh.signature(tokens), per_token.min(axis=0))
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataValidationError):
+            MinHasher(4, seed=0).signature(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_out_of_domain_tokens(self):
+        with pytest.raises(DataValidationError):
+            MinHasher(4, seed=0).signature(np.array([MERSENNE_PRIME_31]))
+
+    def test_rejects_nonpositive_hash_count(self):
+        with pytest.raises(ConfigurationError):
+            MinHasher(0, seed=0)
+
+
+class TestBatchedSignatures:
+    def test_matches_single_item_path(self):
+        rows = [[1, 2, 3], [4], [], [100, 200]]
+        ts = TokenSets.from_lists(rows)
+        mh = MinHasher(24, seed=7)
+        batch = mh.signatures(ts)
+        for i, row in enumerate(rows):
+            expected = mh.signature(np.array(row, dtype=np.int64))
+            assert np.array_equal(batch[i], expected), f"row {i}"
+
+    def test_empty_collection(self):
+        out = MinHasher(8, seed=0).signatures(TokenSets.from_lists([]))
+        assert out.shape == (0, 8)
+
+    def test_all_empty_rows(self):
+        out = MinHasher(8, seed=0).signatures(TokenSets.from_lists([[], []]))
+        assert np.all(out == EMPTY_SLOT)
+
+    def test_matrix_path_matches_ragged(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 50, (30, 6))
+        tokens = encode_categorical_tokens(X, domain_size=50)
+        mh = MinHasher(16, seed=9)
+        ragged = mh.signatures(TokenSets.from_categorical_matrix(X, domain_size=50))
+        dense = mh.signatures_matrix(tokens)
+        assert np.array_equal(ragged, dense)
+
+    def test_matrix_path_rejects_zero_columns(self):
+        with pytest.raises(DataValidationError):
+            MinHasher(4, seed=0).signatures_matrix(np.empty((3, 0), dtype=np.int64))
+
+    def test_matrix_path_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            MinHasher(4, seed=0).signatures_matrix(np.array([1, 2]))
+
+    def test_batch_rejects_out_of_domain(self):
+        ts = TokenSets.from_lists([[MERSENNE_PRIME_31]])
+        with pytest.raises(DataValidationError):
+            MinHasher(4, seed=0).signatures(ts)
+
+
+class TestJaccardEstimation:
+    def test_collision_rate_approximates_jaccard(self):
+        # The defining MinHash property, checked at 3 similarity levels.
+        rng = np.random.default_rng(1)
+        mh = MinHasher(2048, seed=11)
+        for overlap in (0.2, 0.5, 0.8):
+            size = 300
+            shared = rng.choice(10_000, size=int(size * overlap), replace=False)
+            only_a = rng.choice(np.arange(10_000, 20_000), size - len(shared), False)
+            only_b = rng.choice(np.arange(20_000, 30_000), size - len(shared), False)
+            a = np.concatenate([shared, only_a])
+            b = np.concatenate([shared, only_b])
+            true = jaccard_similarity(a.tolist(), b.tolist())
+            estimate = MinHasher.estimate_jaccard(mh.signature(a), mh.signature(b))
+            assert abs(estimate - true) < 0.05, f"overlap={overlap}"
+
+    def test_identical_sets_estimate_one(self):
+        mh = MinHasher(32, seed=0)
+        sig = mh.signature(np.array([1, 2, 3]))
+        assert MinHasher.estimate_jaccard(sig, sig) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        mh = MinHasher(512, seed=0)
+        a = mh.signature(np.arange(0, 300))
+        b = mh.signature(np.arange(10_000, 10_300))
+        assert MinHasher.estimate_jaccard(a, b) < 0.05
+
+    def test_empty_sets_estimate_one(self):
+        # Jaccard(∅, ∅) = 1 by the library's sentinel convention.
+        mh = MinHasher(16, seed=0)
+        empty = np.array([], dtype=np.int64)
+        assert MinHasher.estimate_jaccard(
+            mh.signature(empty), mh.signature(empty)
+        ) == 1.0
+
+    def test_empty_vs_nonempty_estimate_zero(self):
+        mh = MinHasher(16, seed=0)
+        a = mh.signature(np.array([], dtype=np.int64))
+        b = mh.signature(np.array([1, 2, 3]))
+        assert MinHasher.estimate_jaccard(a, b) == 0.0
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(DataValidationError):
+            MinHasher.estimate_jaccard(np.zeros(4), np.zeros(5))
+
+    def test_rejects_empty_signatures(self):
+        with pytest.raises(DataValidationError):
+            MinHasher.estimate_jaccard(np.zeros(0), np.zeros(0))

@@ -1,0 +1,68 @@
+"""Unit tests for repro.lsh.pstable."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.lsh.pstable import PStableHasher
+
+
+class TestSignatures:
+    def test_shape_and_dtype(self):
+        X = np.random.default_rng(0).standard_normal((7, 4))
+        sigs = PStableHasher(16, seed=1, width=4.0).signatures(X)
+        assert sigs.shape == (7, 16)
+        assert sigs.dtype == np.int64
+
+    def test_deterministic(self):
+        X = np.random.default_rng(0).standard_normal((4, 3))
+        a = PStableHasher(8, seed=5).signatures(X)
+        b = PStableHasher(8, seed=5).signatures(X)
+        assert np.array_equal(a, b)
+
+    def test_identical_points_identical_cells(self):
+        hasher = PStableHasher(16, seed=2)
+        x = np.array([1.0, -2.0, 3.0])
+        assert np.array_equal(hasher.signature(x), hasher.signature(x.copy()))
+
+    def test_close_points_agree_more_than_far_points(self):
+        rng = np.random.default_rng(3)
+        hasher = PStableHasher(512, seed=4, width=4.0)
+        x = rng.standard_normal(20)
+        close = x + rng.normal(0, 0.05, 20)
+        far = x + rng.normal(0, 10.0, 20)
+        sig_x = hasher.signature(x)
+        agree_close = np.mean(sig_x == hasher.signature(close))
+        agree_far = np.mean(sig_x == hasher.signature(far))
+        assert agree_close > 0.9
+        assert agree_far < agree_close - 0.3
+
+    def test_wider_cells_more_collisions(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(10)
+        y = x + rng.normal(0, 1.0, 10)
+        narrow = PStableHasher(512, seed=7, width=0.5)
+        wide = PStableHasher(512, seed=7, width=20.0)
+        agree_narrow = np.mean(narrow.signature(x) == narrow.signature(y))
+        agree_wide = np.mean(wide.signature(x) == wide.signature(y))
+        assert agree_wide > agree_narrow
+
+    def test_feature_count_locked(self):
+        hasher = PStableHasher(8, seed=0)
+        hasher.signatures(np.zeros((2, 3)))
+        with pytest.raises(DataValidationError):
+            hasher.signatures(np.zeros((2, 5)))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            PStableHasher(8, seed=0, width=0.0)
+        with pytest.raises(ConfigurationError):
+            PStableHasher(8, seed=0, width=-1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            PStableHasher(8, seed=0).signatures(np.zeros(3))
+
+    def test_rejects_nonpositive_hashes(self):
+        with pytest.raises(ConfigurationError):
+            PStableHasher(0, seed=0)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.lsh.simhash."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.lsh.simhash import SimHasher
+
+
+class TestSignatures:
+    def test_bits_only(self):
+        rng = np.random.default_rng(0)
+        sigs = SimHasher(32, seed=1).signatures(rng.standard_normal((10, 5)))
+        assert sigs.shape == (10, 32)
+        assert set(np.unique(sigs)) <= {0, 1}
+
+    def test_deterministic(self):
+        X = np.random.default_rng(0).standard_normal((5, 4))
+        a = SimHasher(16, seed=7).signatures(X)
+        b = SimHasher(16, seed=7).signatures(X)
+        assert np.array_equal(a, b)
+
+    def test_scale_invariant(self):
+        # SimHash depends only on direction, not magnitude.
+        X = np.random.default_rng(1).standard_normal((6, 8))
+        hasher = SimHasher(32, seed=2)
+        assert np.array_equal(hasher.signatures(X), hasher.signatures(X * 100.0))
+
+    def test_opposite_vectors_disagree_everywhere(self):
+        hasher = SimHasher(64, seed=3)
+        x = np.random.default_rng(2).standard_normal(10)
+        a = hasher.signature(x)
+        b = hasher.signature(-x)
+        # Hyperplanes through the origin always separate x from -x.
+        assert np.all(a != b)
+
+    def test_feature_count_locked_after_first_use(self):
+        hasher = SimHasher(8, seed=0)
+        hasher.signatures(np.zeros((2, 3)))
+        with pytest.raises(DataValidationError):
+            hasher.signatures(np.zeros((2, 4)))
+
+    def test_explicit_feature_count(self):
+        hasher = SimHasher(8, seed=0, n_features=5)
+        with pytest.raises(DataValidationError):
+            hasher.signatures(np.zeros((1, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            SimHasher(8, seed=0).signatures(np.zeros(4))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SimHasher(0, seed=0)
+        with pytest.raises(ConfigurationError):
+            SimHasher(4, seed=0, n_features=0)
+
+
+class TestCosineEstimation:
+    def test_estimates_cosine_similarity(self):
+        rng = np.random.default_rng(5)
+        hasher = SimHasher(4096, seed=6)
+        for target in (0.9, 0.5, 0.0):
+            x = rng.standard_normal(50)
+            x /= np.linalg.norm(x)
+            noise = rng.standard_normal(50)
+            noise -= (noise @ x) * x
+            noise /= np.linalg.norm(noise)
+            y = target * x + np.sqrt(1 - target**2) * noise
+            estimate = SimHasher.estimate_cosine(
+                hasher.signature(x), hasher.signature(y)
+            )
+            assert abs(estimate - target) < 0.08, f"target={target}"
+
+    def test_identical_vectors_estimate_one(self):
+        hasher = SimHasher(128, seed=0)
+        sig = hasher.signature(np.arange(1, 6, dtype=np.float64))
+        assert SimHasher.estimate_cosine(sig, sig) == pytest.approx(1.0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(DataValidationError):
+            SimHasher.estimate_cosine(np.zeros(4), np.zeros(5))

@@ -1,0 +1,166 @@
+"""Unit tests for repro.lsh.tokens."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.lsh.hashing import MERSENNE_PRIME_31
+from repro.lsh.tokens import TokenSets, encode_categorical_tokens
+
+
+class TestEncodeCategoricalTokens:
+    def test_offsets_separate_columns(self):
+        X = np.array([[3, 3], [3, 3]])
+        tokens = encode_categorical_tokens(X, domain_size=10)
+        # Same value in different columns must encode differently.
+        assert tokens[0, 0] != tokens[0, 1]
+        assert tokens[0, 0] == 3
+        assert tokens[0, 1] == 13
+
+    def test_inferred_domain(self):
+        X = np.array([[0, 7], [2, 1]])
+        tokens = encode_categorical_tokens(X)
+        assert tokens[0, 1] == 8 + 7  # domain inferred as 8
+
+    def test_explicit_domain_validated(self):
+        with pytest.raises(DataValidationError):
+            encode_categorical_tokens(np.array([[5]]), domain_size=5)
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(DataValidationError):
+            encode_categorical_tokens(np.array([[-1, 0]]))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(DataValidationError):
+            encode_categorical_tokens(np.array([[0.5, 1.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            encode_categorical_tokens(np.array([1, 2, 3]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            encode_categorical_tokens(np.empty((0, 3), dtype=np.int64))
+
+    def test_rejects_token_overflow(self):
+        X = np.array([[0, 1]])
+        with pytest.raises(DataValidationError):
+            encode_categorical_tokens(X, domain_size=MERSENNE_PRIME_31)
+
+    def test_tokens_unique_across_cells(self):
+        X = np.arange(12).reshape(3, 4) % 5
+        tokens = encode_categorical_tokens(X, domain_size=5)
+        # Every (column, value) pair maps to a distinct token.
+        pairs = {(j, X[i, j]) for i in range(3) for j in range(4)}
+        assert len(np.unique(tokens)) == len(pairs)
+
+
+class TestTokenSetsConstruction:
+    def test_from_lists_roundtrip(self):
+        rows = [[1, 2, 3], [], [7]]
+        ts = TokenSets.from_lists(rows)
+        assert len(ts) == 3
+        assert ts[0].tolist() == [1, 2, 3]
+        assert ts[1].tolist() == []
+        assert ts[2].tolist() == [7]
+
+    def test_lengths(self):
+        ts = TokenSets.from_lists([[1], [2, 3], []])
+        assert ts.lengths.tolist() == [1, 2, 0]
+
+    def test_negative_index(self):
+        ts = TokenSets.from_lists([[1], [2, 3]])
+        assert ts[-1].tolist() == [2, 3]
+
+    def test_out_of_range_index(self):
+        ts = TokenSets.from_lists([[1]])
+        with pytest.raises(IndexError):
+            ts[1]
+        with pytest.raises(IndexError):
+            ts[-2]
+
+    def test_iteration(self):
+        rows = [[1, 2], [3]]
+        ts = TokenSets.from_lists(rows)
+        assert [row.tolist() for row in ts] == rows
+
+    def test_row_set(self):
+        ts = TokenSets.from_lists([[5, 5, 2]])
+        assert ts.row_set(0) == {5, 2}
+
+    def test_n_tokens(self):
+        ts = TokenSets.from_lists([[1, 2], [3], []])
+        assert ts.n_tokens == 3
+
+    def test_max_token(self):
+        assert TokenSets.from_lists([[1, 99], [2]]).max_token() == 99
+        assert TokenSets.from_lists([[], []]).max_token() == -1
+
+    def test_empty_collection(self):
+        ts = TokenSets.from_lists([])
+        assert len(ts) == 0
+        assert ts.n_tokens == 0
+
+    def test_rejects_bad_indptr_start(self):
+        with pytest.raises(DataValidationError):
+            TokenSets(np.array([1]), np.array([1, 1]))
+
+    def test_rejects_indptr_end_mismatch(self):
+        with pytest.raises(DataValidationError):
+            TokenSets(np.array([1, 2]), np.array([0, 1]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(DataValidationError):
+            TokenSets(np.array([1, 2]), np.array([0, 2, 1, 2]))
+
+    def test_rejects_negative_tokens(self):
+        with pytest.raises(DataValidationError):
+            TokenSets(np.array([-1]), np.array([0, 1]))
+
+
+class TestTokenSetsFromMatrices:
+    def test_from_categorical_matrix_dense(self):
+        X = np.array([[0, 1], [2, 3]])
+        ts = TokenSets.from_categorical_matrix(X, domain_size=4)
+        assert len(ts) == 2
+        assert ts[0].tolist() == [0, 4 + 1]
+        assert ts[1].tolist() == [2, 4 + 3]
+
+    def test_from_categorical_matrix_absent_filtering(self):
+        # Value 0 marks "not present"; only present cells become tokens.
+        X = np.array([[0, 1, 1], [1, 0, 0]])
+        ts = TokenSets.from_categorical_matrix(X, domain_size=2, absent_code=0)
+        assert ts.lengths.tolist() == [2, 1]
+        assert ts[1].tolist() == [1]  # column 0, value 1
+
+    def test_absent_filtering_can_empty_a_row(self):
+        X = np.array([[0, 0], [1, 1]])
+        ts = TokenSets.from_categorical_matrix(X, domain_size=2, absent_code=0)
+        assert ts.lengths.tolist() == [0, 2]
+
+    def test_from_binary_matrix(self):
+        B = np.array([[1, 0, 1], [0, 0, 0]])
+        ts = TokenSets.from_binary_matrix(B)
+        assert ts[0].tolist() == [0, 2]
+        assert ts[1].tolist() == []
+
+    def test_from_binary_matrix_rejects_1d(self):
+        with pytest.raises(DataValidationError):
+            TokenSets.from_binary_matrix(np.array([1, 0]))
+
+    def test_from_csr(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        mat = sparse.csr_matrix(np.array([[1, 0], [1, 1]]))
+        ts = TokenSets.from_csr(mat)
+        assert ts[0].tolist() == [0]
+        assert sorted(ts[1].tolist()) == [0, 1]
+
+    def test_binary_matches_categorical_with_filter(self):
+        rng = np.random.default_rng(3)
+        B = (rng.random((20, 15)) < 0.3).astype(np.int64)
+        from_binary = TokenSets.from_binary_matrix(B)
+        # With domain 2 and absent_code 0, the present token for column
+        # j is j*2 + 1 — the same sets up to an affine relabelling.
+        from_cat = TokenSets.from_categorical_matrix(B, domain_size=2, absent_code=0)
+        for i in range(20):
+            assert np.array_equal(from_cat[i], from_binary[i] * 2 + 1)

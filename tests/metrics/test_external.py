@@ -1,0 +1,135 @@
+"""Unit tests for NMI / ARI / homogeneity / completeness / V-measure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics.external import (
+    adjusted_rand_index,
+    completeness,
+    contingency_matrix,
+    homogeneity,
+    normalized_mutual_information,
+    v_measure,
+)
+
+
+class TestContingencyMatrix:
+    def test_counts(self):
+        J = contingency_matrix([0, 0, 1], [5, 6, 6])
+        assert J.tolist() == [[1, 1], [0, 1]]
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, 50)
+        truth = rng.integers(0, 3, 50)
+        assert contingency_matrix(labels, truth).sum() == 50
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DataValidationError):
+            contingency_matrix([0], [0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            contingency_matrix([], [])
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        labels = [0, 0, 1, 1, 2]
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_one(self):
+        assert normalized_mutual_information(
+            [1, 1, 0, 0], [5, 5, 9, 9]
+        ) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 10_000)
+        truth = rng.integers(0, 2, 10_000)
+        assert normalized_mutual_information(labels, truth) < 0.01
+
+    def test_single_cluster_vs_structure_is_zero(self):
+        assert normalized_mutual_information([0, 0, 0, 0], [0, 0, 1, 1]) == 0.0
+
+    def test_both_single_cluster_is_one(self):
+        assert normalized_mutual_information([0, 0], [3, 3]) == 1.0
+
+    def test_within_unit_interval(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            labels = rng.integers(0, 5, 30)
+            truth = rng.integers(0, 5, 30)
+            assert 0.0 <= normalized_mutual_information(labels, truth) <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 4, 60)
+        truth = rng.integers(0, 3, 60)
+        assert normalized_mutual_information(labels, truth) == pytest.approx(
+            normalized_mutual_information(truth, labels)
+        )
+
+
+class TestARI:
+    def test_identical(self):
+        assert adjusted_rand_index([0, 1, 1, 2], [0, 1, 1, 2]) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [9, 9, 2, 2]) == pytest.approx(1.0)
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 3, 5_000)
+        truth = rng.integers(0, 3, 5_000)
+        assert abs(adjusted_rand_index(labels, truth)) < 0.02
+
+    def test_known_value(self):
+        # Classic example: one label flipped out of six.
+        labels = [0, 0, 0, 1, 1, 1]
+        truth = [0, 0, 1, 1, 1, 1]
+        expected = adjusted_rand_index(truth, labels)  # symmetry sanity
+        assert adjusted_rand_index(labels, truth) == pytest.approx(expected)
+        assert 0.0 < adjusted_rand_index(labels, truth) < 1.0
+
+    def test_single_item(self):
+        assert adjusted_rand_index([0], [0]) == 1.0
+
+
+class TestHomogeneityFamily:
+    def test_pure_clusters_fully_homogeneous(self):
+        # Splitting a class keeps homogeneity at 1 but hurts completeness.
+        labels = [0, 1, 2, 2]
+        truth = [0, 0, 1, 1]
+        assert homogeneity(labels, truth) == pytest.approx(1.0)
+        assert completeness(labels, truth) < 1.0
+
+    def test_merged_clusters_fully_complete(self):
+        labels = [0, 0, 0, 0]
+        truth = [0, 0, 1, 1]
+        assert completeness(labels, truth) == pytest.approx(1.0)
+        assert homogeneity(labels, truth) == 0.0
+
+    def test_v_measure_harmonic_mean(self):
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, 4, 80)
+        truth = rng.integers(0, 3, 80)
+        h = homogeneity(labels, truth)
+        c = completeness(labels, truth)
+        assert v_measure(labels, truth) == pytest.approx(2 * h * c / (h + c))
+
+    def test_v_measure_equals_nmi_arithmetic(self):
+        # With arithmetic-mean NMI, V-measure and NMI coincide.
+        rng = np.random.default_rng(6)
+        labels = rng.integers(0, 4, 100)
+        truth = rng.integers(0, 5, 100)
+        assert v_measure(labels, truth) == pytest.approx(
+            normalized_mutual_information(labels, truth), abs=1e-9
+        )
+
+    def test_perfect_partition(self):
+        labels = [0, 0, 1, 1]
+        assert homogeneity(labels, labels) == 1.0
+        assert completeness(labels, labels) == 1.0
+        assert v_measure(labels, labels) == 1.0

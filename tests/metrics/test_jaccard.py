@@ -1,0 +1,81 @@
+"""Unit tests for Jaccard similarity (Equation 6)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.lsh.tokens import TokenSets
+from repro.metrics.jaccard import (
+    jaccard_similarity,
+    jaccard_similarity_binary,
+    pairwise_jaccard,
+)
+
+
+class TestJaccardSimilarity:
+    def test_identical(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_half_overlap(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == 0.5
+
+    def test_both_empty_is_one(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard_similarity(set(), {1}) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard_similarity([1, 1, 2], [1, 2, 2]) == 1.0
+
+    def test_symmetry(self):
+        a, b = {1, 2, 3}, {3, 4}
+        assert jaccard_similarity(a, b) == jaccard_similarity(b, a)
+
+    def test_paper_minimum_similarity_bound(self):
+        # §III-C: two m-attribute items sharing one attribute value
+        # have Jaccard ≥ 1/(2m-1).
+        m = 10
+        x = {(j, j) for j in range(m)}
+        y = {(j, j + 100) for j in range(1, m)} | {(0, 0)}
+        assert jaccard_similarity(x, y) == pytest.approx(1 / (2 * m - 1))
+
+
+class TestJaccardBinary:
+    def test_matches_set_version(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = (rng.random(15) < 0.4).astype(int)
+            b = (rng.random(15) < 0.4).astype(int)
+            expected = jaccard_similarity(
+                set(np.flatnonzero(a)), set(np.flatnonzero(b))
+            )
+            assert jaccard_similarity_binary(a, b) == pytest.approx(expected)
+
+    def test_shared_absence_ignored(self):
+        a = np.array([1, 0, 0, 0])
+        b = np.array([1, 0, 0, 0])
+        assert jaccard_similarity_binary(a, b) == 1.0
+
+    def test_all_zeros_is_one(self):
+        assert jaccard_similarity_binary(np.zeros(4), np.zeros(4)) == 1.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DataValidationError):
+            jaccard_similarity_binary(np.zeros(3), np.zeros(4))
+
+
+class TestPairwiseJaccard:
+    def test_matrix_properties(self):
+        ts = TokenSets.from_lists([[1, 2], [2, 3], [9]])
+        M = pairwise_jaccard(ts)
+        assert M.shape == (3, 3)
+        assert np.allclose(np.diag(M), 1.0)
+        assert np.allclose(M, M.T)
+
+    def test_values(self):
+        ts = TokenSets.from_lists([[1, 2, 3], [2, 3, 4]])
+        assert pairwise_jaccard(ts)[0, 1] == pytest.approx(0.5)

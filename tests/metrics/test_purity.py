@@ -1,0 +1,71 @@
+"""Unit tests for cluster purity."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataValidationError
+from repro.metrics.purity import cluster_purity, per_cluster_purity
+
+
+class TestClusterPurity:
+    def test_perfect_clustering(self):
+        assert cluster_purity([0, 0, 1, 1], [9, 9, 4, 4]) == 1.0
+
+    def test_label_permutation_invariant(self):
+        truth = [0, 0, 1, 1, 2, 2]
+        assert cluster_purity([2, 2, 0, 0, 1, 1], truth) == 1.0
+
+    def test_single_cluster_majority(self):
+        assert cluster_purity([0, 0, 0, 0], [1, 1, 2, 3]) == 0.5
+
+    def test_each_item_its_own_cluster_is_pure(self):
+        assert cluster_purity([0, 1, 2, 3], [0, 0, 1, 1]) == 1.0
+
+    def test_worked_example(self):
+        labels = [0, 0, 0, 1, 1, 1]
+        truth = [5, 5, 6, 6, 6, 5]
+        # Cluster 0 majority 5 (2), cluster 1 majority 6 (2) → 4/6.
+        assert cluster_purity(labels, truth) == pytest.approx(4 / 6)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            labels = rng.integers(0, 5, 40)
+            truth = rng.integers(0, 4, 40)
+            p = cluster_purity(labels, truth)
+            assert 0.0 < p <= 1.0
+
+    def test_non_contiguous_labels(self):
+        assert cluster_purity([10, 10, 77, 77], ["a", "a", "b", "b"]) == 1.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataValidationError):
+            cluster_purity([0, 1], [0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            cluster_purity([], [])
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataValidationError):
+            cluster_purity(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestPerClusterPurity:
+    def test_keys_are_original_labels(self):
+        out = per_cluster_purity([5, 5, 9], [0, 0, 1])
+        assert set(out) == {5, 9}
+
+    def test_values(self):
+        out = per_cluster_purity([0, 0, 0, 1], [7, 7, 8, 8])
+        assert out[0] == pytest.approx(2 / 3)
+        assert out[1] == 1.0
+
+    def test_mean_consistent_with_overall(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 6, 60)
+        truth = rng.integers(0, 4, 60)
+        per = per_cluster_purity(labels, truth)
+        sizes = {c: int(np.sum(labels == c)) for c in per}
+        weighted = sum(per[c] * sizes[c] for c in per) / 60
+        assert weighted == pytest.approx(cluster_purity(labels, truth))

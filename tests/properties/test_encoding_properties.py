@@ -1,0 +1,95 @@
+"""Property-based tests for encoders and the index (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.encoding import CategoricalEncoder, encode_presence_matrix
+from repro.lsh.index import ClusteredLSHIndex
+from repro.lsh.minhash import MinHasher
+from repro.lsh.tokens import TokenSets
+
+raw_rows = st.lists(
+    st.lists(st.sampled_from(["a", "b", "c", "d", "e"]), min_size=3, max_size=3),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestEncoderProperties:
+    @given(rows=raw_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, rows):
+        enc = CategoricalEncoder()
+        assert enc.inverse_transform(enc.fit_transform(rows)) == rows
+
+    @given(rows=raw_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_codes_dense_from_zero(self, rows):
+        codes = CategoricalEncoder().fit_transform(rows)
+        for j in range(codes.shape[1]):
+            column = codes[:, j]
+            assert column.min() == 0
+            assert set(np.unique(column)) == set(range(column.max() + 1))
+
+    @given(rows=raw_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_equal_rows_equal_codes(self, rows):
+        enc = CategoricalEncoder()
+        codes = enc.fit_transform(rows)
+        for i in range(len(rows)):
+            for j in range(len(rows)):
+                if rows[i] == rows[j]:
+                    assert np.array_equal(codes[i], codes[j])
+
+
+class TestPresenceMatrixProperties:
+    docs = st.lists(
+        st.lists(st.sampled_from("pqrstuv"), max_size=6), min_size=1, max_size=15
+    )
+
+    @given(docs=docs)
+    @settings(max_examples=60, deadline=None)
+    def test_bits_match_membership(self, docs):
+        vocabulary = sorted({t for doc in docs for t in doc} | {"zz"})
+        matrix = encode_presence_matrix(docs, vocabulary)
+        for i, doc in enumerate(docs):
+            for j, word in enumerate(vocabulary):
+                assert matrix[i, j] == (1 if word in doc else 0)
+
+
+class TestIndexProperties:
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(0, 200), max_size=8), min_size=1, max_size=20
+        ),
+        bands=st.integers(1, 6),
+        lsh_rows=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_candidate_symmetry(self, rows, bands, lsh_rows):
+        # Collision is symmetric: j in candidates(i) ⟺ i in candidates(j).
+        ts = TokenSets.from_lists(rows)
+        sigs = MinHasher(bands * lsh_rows, seed=0).signatures(ts)
+        index = ClusteredLSHIndex(bands, lsh_rows).build(
+            sigs, np.arange(len(rows))
+        )
+        for i in range(len(rows)):
+            for j in index.candidate_items(i).tolist():
+                assert i in index.candidate_items(j).tolist()
+
+    @given(
+        rows=st.lists(
+            st.lists(st.integers(0, 200), max_size=8), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_token_sets_always_collide(self, rows):
+        # Duplicate every row; each duplicate must see its twin.
+        doubled = rows + rows
+        ts = TokenSets.from_lists(doubled)
+        sigs = MinHasher(8, seed=1).signatures(ts)
+        index = ClusteredLSHIndex(4, 2).build(sigs, np.arange(len(doubled)))
+        n = len(rows)
+        for i in range(n):
+            assert (i + n) in index.candidate_items(i).tolist()

@@ -1,0 +1,125 @@
+"""Property-based tests of the metrics (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.external import (
+    adjusted_rand_index,
+    completeness,
+    homogeneity,
+    normalized_mutual_information,
+    v_measure,
+)
+from repro.metrics.jaccard import jaccard_similarity
+from repro.metrics.purity import cluster_purity
+
+labellings = st.lists(st.integers(0, 5), min_size=1, max_size=60)
+
+
+def paired(draw_fn):
+    """Draw two equal-length label vectors."""
+    labels = draw_fn(labellings)
+    truth = draw_fn(
+        st.lists(st.integers(0, 5), min_size=len(labels), max_size=len(labels))
+    )
+    return np.array(labels), np.array(truth)
+
+
+class TestPurityProperties:
+    @given(data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_bounds(self, data):
+        labels, truth = paired(data.draw)
+        assert 0.0 < cluster_purity(labels, truth) <= 1.0
+
+    @given(labels=labellings)
+    @settings(max_examples=50, deadline=None)
+    def test_self_purity_is_one(self, labels):
+        assert cluster_purity(labels, labels) == 1.0
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_refining_clusters_never_decreases_purity(self, data):
+        labels, truth = paired(data.draw)
+        # Refinement: split every cluster by item parity.
+        refined = labels * 2 + (np.arange(len(labels)) % 2)
+        assert cluster_purity(refined, truth) >= cluster_purity(labels, truth)
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_purity_invariant_to_label_renaming(self, data):
+        labels, truth = paired(data.draw)
+        renamed = labels + 100
+        assert cluster_purity(renamed, truth) == cluster_purity(labels, truth)
+
+
+class TestExternalMetricProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_nmi_bounds_and_symmetry(self, data):
+        labels, truth = paired(data.draw)
+        nmi = normalized_mutual_information(labels, truth)
+        assert 0.0 <= nmi <= 1.0
+        assert nmi == pytest.approx(
+            normalized_mutual_information(truth, labels), abs=1e-9
+        )
+
+    @given(labels=labellings)
+    @settings(max_examples=50, deadline=None)
+    def test_self_agreement(self, labels):
+        arr = np.array(labels)
+        assert normalized_mutual_information(arr, arr) == pytest.approx(1.0)
+        assert adjusted_rand_index(arr, arr) == pytest.approx(1.0)
+        assert v_measure(arr, arr) == pytest.approx(1.0)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_ari_upper_bound(self, data):
+        labels, truth = paired(data.draw)
+        assert adjusted_rand_index(labels, truth) <= 1.0 + 1e-12
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_homogeneity_completeness_duality(self, data):
+        labels, truth = paired(data.draw)
+        assert homogeneity(labels, truth) == completeness(truth, labels)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_v_measure_between_zero_and_one(self, data):
+        labels, truth = paired(data.draw)
+        assert 0.0 <= v_measure(labels, truth) <= 1.0
+
+
+class TestJaccardProperties:
+    sets = st.sets(st.integers(0, 30), max_size=15)
+
+    @given(a=sets, b=sets)
+    @settings(max_examples=80, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        s = jaccard_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == jaccard_similarity(b, a)
+
+    @given(a=sets)
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        assert jaccard_similarity(a, a) == 1.0
+
+    @given(a=sets, b=sets, c=sets)
+    @settings(max_examples=80, deadline=None)
+    def test_jaccard_distance_triangle_inequality(self, a, b, c):
+        # 1 - J is a metric; spot-check the triangle inequality.
+        d_ab = 1 - jaccard_similarity(a, b)
+        d_bc = 1 - jaccard_similarity(b, c)
+        d_ac = 1 - jaccard_similarity(a, c)
+        assert d_ac <= d_ab + d_bc + 1e-12
+
+    @given(a=sets, b=sets)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_under_shared_extension(self, a, b):
+        # Adding one shared element never lowers similarity.
+        extended = jaccard_similarity(a | {999}, b | {999})
+        assert extended >= jaccard_similarity(a, b) - 1e-12

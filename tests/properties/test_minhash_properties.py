@@ -1,0 +1,123 @@
+"""Property-based tests of the MinHash substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.bands import band_probability, compute_band_keys, threshold_similarity
+from repro.lsh.minhash import EMPTY_SLOT, MinHasher
+from repro.lsh.tokens import TokenSets
+
+token_lists = st.lists(
+    st.integers(min_value=0, max_value=1_000_000), min_size=0, max_size=40
+)
+
+
+class TestSignatureProperties:
+    @given(tokens=token_lists, seed=st.integers(0, 1_000))
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, tokens, seed):
+        mh = MinHasher(16, seed=seed)
+        forward = mh.signature(np.array(tokens, dtype=np.int64))
+        backward = mh.signature(np.array(tokens[::-1], dtype=np.int64))
+        assert np.array_equal(forward, backward)
+
+    @given(tokens=token_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent_under_duplication(self, tokens):
+        mh = MinHasher(16, seed=0)
+        once = mh.signature(np.array(tokens, dtype=np.int64))
+        twice = mh.signature(np.array(tokens + tokens, dtype=np.int64))
+        assert np.array_equal(once, twice)
+
+    @given(a=token_lists, b=token_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_union_signature_is_elementwise_min(self, a, b):
+        # MinHash's defining algebraic property:
+        # sig(A ∪ B) = min(sig(A), sig(B)) element-wise.
+        mh = MinHasher(24, seed=1)
+        sig_a = mh.signature(np.array(a, dtype=np.int64))
+        sig_b = mh.signature(np.array(b, dtype=np.int64))
+        sig_union = mh.signature(np.array(a + b, dtype=np.int64))
+        assert np.array_equal(sig_union, np.minimum(sig_a, sig_b))
+
+    @given(tokens=st.lists(st.integers(0, 10**6), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_nonempty_signatures_below_sentinel(self, tokens):
+        sig = MinHasher(8, seed=2).signature(np.array(tokens, dtype=np.int64))
+        assert sig.max() < EMPTY_SLOT
+
+    @given(
+        rows_of_tokens=st.lists(token_lists, min_size=1, max_size=12),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_equals_per_item(self, rows_of_tokens, seed):
+        mh = MinHasher(12, seed=seed)
+        batch = mh.signatures(TokenSets.from_lists(rows_of_tokens))
+        for i, row in enumerate(rows_of_tokens):
+            single = mh.signature(np.array(row, dtype=np.int64))
+            assert np.array_equal(batch[i], single)
+
+    @given(
+        subset_size=st.integers(1, 20),
+        superset_extra=st.integers(0, 20),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subset_signature_dominates(self, subset_size, superset_extra, seed):
+        # Adding elements can only lower (or keep) each signature slot.
+        rng = np.random.default_rng(seed)
+        subset = rng.choice(10_000, subset_size, replace=False)
+        extra = 10_000 + rng.choice(10_000, superset_extra, replace=False) \
+            if superset_extra else np.empty(0, dtype=np.int64)
+        mh = MinHasher(16, seed=seed)
+        sig_small = mh.signature(subset.astype(np.int64))
+        sig_big = mh.signature(np.concatenate([subset, extra]).astype(np.int64))
+        assert np.all(sig_big <= sig_small)
+
+
+class TestBandProperties:
+    @given(
+        bands=st.integers(1, 30),
+        rows=st.integers(1, 8),
+        s=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probability_is_a_probability(self, bands, rows, s):
+        p = band_probability(s, bands, rows)
+        assert 0.0 <= p <= 1.0
+
+    @given(bands=st.integers(1, 50), rows=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_within_unit_interval(self, bands, rows):
+        t = threshold_similarity(bands, rows)
+        assert 0.0 < t <= 1.0
+
+    @given(
+        n=st.integers(1, 10),
+        bands=st.integers(1, 8),
+        rows=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_band_keys_deterministic_shape(self, n, bands, rows, seed):
+        rng = np.random.default_rng(seed)
+        sigs = rng.integers(0, 2**31 - 1, size=(n, bands * rows))
+        keys = compute_band_keys(sigs, bands, rows)
+        assert keys.shape == (n, bands)
+        assert np.array_equal(keys, compute_band_keys(sigs, bands, rows))
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_equal_bands_equal_keys(self, data):
+        rows = data.draw(st.integers(1, 4))
+        bands = data.draw(st.integers(1, 6))
+        base = data.draw(
+            st.lists(st.integers(0, 1_000), min_size=bands * rows, max_size=bands * rows)
+        )
+        sig_a = np.array([base])
+        sig_b = np.array([base])  # identical signature
+        keys_a = compute_band_keys(sig_a, bands, rows)
+        keys_b = compute_band_keys(sig_b, bands, rows)
+        assert np.array_equal(keys_a, keys_b)

@@ -1,0 +1,121 @@
+"""Property-based tests of K-Modes invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kmodes.cost import clustering_cost
+from repro.kmodes.dissimilarity import matching_distance, pairwise_matching
+from repro.kmodes.modes import compute_modes
+
+
+small_matrices = arrays(
+    dtype=np.int64,
+    shape=st.tuples(st.integers(1, 30), st.integers(1, 8)),
+    elements=st.integers(0, 6),
+)
+
+
+class TestDistanceProperties:
+    @given(X=small_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_self_distance_zero(self, X):
+        D = pairwise_matching(X, X)
+        assert np.all(np.diag(D) == 0)
+
+    @given(X=small_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, X):
+        D = pairwise_matching(X, X)
+        assert np.array_equal(D, D.T)
+
+    @given(
+        x=st.lists(st.integers(0, 5), min_size=1, max_size=10),
+        y=st.lists(st.integers(0, 5), min_size=1, max_size=10),
+        z=st.lists(st.integers(0, 5), min_size=1, max_size=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, x, y, z):
+        m = min(len(x), len(y), len(z))
+        a, b, c = (np.array(v[:m], dtype=np.int64) for v in (x, y, z))
+        assert matching_distance(a, c) <= (
+            matching_distance(a, b) + matching_distance(b, c)
+        )
+
+    @given(X=small_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_distance_bounded_by_m(self, X):
+        D = pairwise_matching(X, X)
+        assert D.max() <= X.shape[1]
+
+
+class TestModeProperties:
+    @given(X=small_matrices, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_mode_is_global_minimiser_per_column(self, X, data):
+        n = X.shape[0]
+        k = data.draw(st.integers(1, min(4, n)))
+        labels = np.array(
+            data.draw(
+                st.lists(st.integers(0, k - 1), min_size=n, max_size=n)
+            ),
+            dtype=np.int64,
+        )
+        modes = compute_modes(
+            X, labels, k, previous_modes=np.zeros((k, X.shape[1]), dtype=X.dtype)
+        )
+        base = clustering_cost(X, modes, labels)
+        # Any alternative value in any cell cannot beat the mode.
+        cluster = data.draw(st.integers(0, k - 1))
+        column = data.draw(st.integers(0, X.shape[1] - 1))
+        alternative = data.draw(st.integers(0, 6))
+        perturbed = modes.copy()
+        perturbed[cluster, column] = alternative
+        assert clustering_cost(X, perturbed, labels) >= base
+
+    @given(X=small_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_single_cluster_mode_values_occur_in_data(self, X):
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        modes = compute_modes(X, labels, 1)
+        for j in range(X.shape[1]):
+            assert modes[0, j] in X[:, j]
+
+    @given(X=small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_modes_idempotent(self, X):
+        # Recomputing modes from an unchanged assignment changes nothing.
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        first = compute_modes(X, labels, 1)
+        second = compute_modes(X, labels, 1, previous_modes=first)
+        assert np.array_equal(first, second)
+
+
+class TestCostProperties:
+    @given(X=small_matrices, data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_cost_bounds(self, X, data):
+        n, m = X.shape
+        k = data.draw(st.integers(1, 4))
+        labels = np.array(
+            data.draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n)),
+            dtype=np.int64,
+        )
+        modes = compute_modes(
+            X, labels, k, previous_modes=np.zeros((k, m), dtype=X.dtype)
+        )
+        cost = clustering_cost(X, modes, labels)
+        assert 0 <= cost <= n * m
+
+    @given(X=small_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_step_never_increases_cost(self, X):
+        # One full K-Modes round (assign → update) from random modes.
+        rng = np.random.default_rng(0)
+        k = min(3, X.shape[0])
+        modes = X[rng.choice(X.shape[0], k, replace=False)]
+        labels = np.argmin(pairwise_matching(X, modes), axis=1)
+        cost_after_assign = clustering_cost(X, modes, labels)
+        new_modes = compute_modes(X, labels, k, previous_modes=modes)
+        assert clustering_cost(X, new_modes, labels) <= cost_after_assign

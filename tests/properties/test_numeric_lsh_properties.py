@@ -1,0 +1,99 @@
+"""Property-based tests for the numeric LSH families (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.lsh.pstable import PStableHasher
+from repro.lsh.simhash import SimHasher
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+vectors = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 12), st.integers(1, 10)),
+    elements=finite_floats,
+)
+
+
+class TestSimHashProperties:
+    @given(X=vectors, scale=st.floats(0.001, 1000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_positive_scale_invariance(self, X, scale):
+        hasher = SimHasher(16, seed=0)
+        assert np.array_equal(hasher.signatures(X), hasher.signatures(X * scale))
+
+    @given(X=vectors, seed=st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_and_binary(self, X, seed):
+        hasher = SimHasher(16, seed=seed)
+        a = hasher.signatures(X)
+        b = hasher.signatures(X)
+        assert np.array_equal(a, b)
+        assert set(np.unique(a)) <= {0, 1}
+
+    @given(X=vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_duplicate_rows_hash_identically(self, X):
+        hasher = SimHasher(16, seed=1)
+        doubled = np.vstack([X, X])
+        sigs = hasher.signatures(doubled)
+        n = X.shape[0]
+        assert np.array_equal(sigs[:n], sigs[n:])
+
+
+class TestPStableProperties:
+    @given(X=vectors, seed=st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, X, seed):
+        hasher = PStableHasher(16, seed=seed, width=4.0)
+        assert np.array_equal(hasher.signatures(X), hasher.signatures(X))
+
+    @given(X=vectors, shift=st.floats(0.0, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cell_ids_shift_monotonically(self, X, shift):
+        # Moving every point along a fixed direction can only move cell
+        # ids monotonically for hash functions aligned with it; at
+        # minimum the ids never decrease when the projection grows.
+        hasher = PStableHasher(8, seed=3, width=4.0)
+        base = hasher.signatures(X)
+        # shift along the first hash direction itself
+        direction = hasher._directions[:, 0]
+        moved = hasher.signatures(X + shift * direction[None, :])
+        assert np.all(moved[:, 0] >= base[:, 0])
+
+    @given(X=vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_identical_rows_identical_cells(self, X):
+        hasher = PStableHasher(16, seed=4, width=2.0)
+        doubled = np.vstack([X, X])
+        sigs = hasher.signatures(doubled)
+        n = X.shape[0]
+        assert np.array_equal(sigs[:n], sigs[n:])
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_translation_by_multiple_of_width_along_direction(self, data):
+        # Translating a point by w·|a|⁻²·a along direction a moves that
+        # projection by exactly one cell.
+        dim = data.draw(st.integers(2, 8))
+        x = np.array(
+            data.draw(
+                st.lists(finite_floats, min_size=dim, max_size=dim)
+            )
+        )
+        width = 4.0
+        hasher = PStableHasher(4, seed=5, width=width)
+        hasher.signatures(x[None, :])  # initialise projections
+        a = hasher._directions[:, 0]
+        norm_sq = float(a @ a)
+        if norm_sq < 1e-9:
+            return  # degenerate draw of the random direction
+        step = width / norm_sq
+        base = hasher.signature(x)
+        moved = hasher.signature(x + step * a)
+        assert moved[0] == base[0] + 1
