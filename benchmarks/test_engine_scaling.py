@@ -1,0 +1,124 @@
+"""Engine scaling — end-to-end fit wall-time versus backend / n_jobs.
+
+The workload is the Figure 2 configuration scaled up to 20 000 items
+(same 60 attributes; k = 800), the regime the ROADMAP's sharding /
+multi-backend north star targets.  Every backend starts from the same
+initial modes and runs batch updates, so the runs are comparable *and*
+must produce identical labels; the table records how the wall time
+splits across the engine phases.
+
+Two claims are asserted:
+
+* equivalence — every backend returns exactly the serial labels;
+* acceleration — ``backend='process', n_jobs=4`` finishes the whole
+  fit in less wall time than ``serial``.  The win comes from the
+  engine's vectorised chunk kernels replacing the per-item inner loop
+  (and on multi-core hosts, from the chunks running concurrently).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.mh_kmodes import MHKModes
+from repro.data.datgen import RuleBasedGenerator
+
+N_ITEMS = 20_000
+N_CLUSTERS = 800
+N_ATTRIBUTES = 60
+MAX_ITER = 4
+SEED = 2016
+
+#: (label, backend, n_jobs) in presentation order.
+RUNS = [
+    ("serial", "serial", None),
+    ("thread x2", "thread", 2),
+    ("process x4", "process", 4),
+]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = RuleBasedGenerator(
+        n_clusters=N_CLUSTERS,
+        n_attributes=N_ATTRIBUTES,
+        domain_size=40_000,
+        noise_rate=0.1,
+        seed=SEED,
+    ).generate(N_ITEMS)
+    rng = np.random.default_rng(SEED)
+    initial = dataset.X[
+        rng.choice(N_ITEMS, size=N_CLUSTERS, replace=False)
+    ].copy()
+    return dataset, initial
+
+
+def _fit(workload, backend: str, n_jobs: int | None):
+    dataset, initial = workload
+    model = MHKModes(
+        n_clusters=N_CLUSTERS,
+        bands=20,
+        rows=5,
+        max_iter=MAX_ITER,
+        seed=SEED,
+        update_refs="batch",
+        backend=backend,
+        n_jobs=n_jobs,
+    )
+    start = time.perf_counter()
+    model.fit(dataset.X, initial_centroids=initial)
+    return model, time.perf_counter() - start
+
+
+def test_engine_scaling(workload):
+    rows = []
+    fitted = {}
+    for label, backend, n_jobs in RUNS:
+        model, elapsed = _fit(workload, backend, n_jobs)
+        phases = model.stats_.phase_s
+        # keep only the comparison artefacts — holding three fitted
+        # indexes alive would bloat the heap the process pools fork
+        fitted[label] = (model.labels_, elapsed)
+        rows.append(
+            f"{label:>10}  {elapsed:8.3f}s  "
+            f"exhaustive={phases['exhaustive_assign']:6.3f}s  "
+            f"signatures={phases['signatures']:6.3f}s  "
+            f"index={phases['index_build']:6.3f}s  "
+            f"iterations={phases['iterations']:6.3f}s  "
+            f"iters={model.n_iter_}"
+        )
+        del model
+
+    serial_labels, serial_time = fitted["serial"]
+    _, process_time = fitted["process x4"]
+    header = (
+        f"engine scaling: MH-K-Modes 20b 5r, n={N_ITEMS} m={N_ATTRIBUTES} "
+        f"k={N_CLUSTERS}, batch updates, max_iter={MAX_ITER}"
+    )
+    speedup = serial_time / process_time
+    write_result(
+        "engine_scaling",
+        "\n".join(
+            [header, *rows, f"process x4 vs serial end-to-end: {speedup:.2f}x"]
+        ),
+    )
+
+    # equivalence: identical labels for every backend at the fixed seed
+    for label, (labels, _) in fitted.items():
+        assert np.array_equal(labels, serial_labels), label
+
+    # acceleration: the parallel engine must beat the serial loop
+    # end-to-end, even on a single-core host (vectorised chunk kernels).
+    # Wall-clock comparisons are too noisy on shared CI runners to gate
+    # a build, so the timing assertion is local-only; equivalence above
+    # is asserted everywhere.
+    if os.environ.get("CI"):
+        pytest.skip("wall-clock speedup assertion is flaky on shared CI runners")
+    assert process_time < serial_time, (
+        f"process x4 took {process_time:.3f}s vs serial {serial_time:.3f}s"
+    )

@@ -30,6 +30,8 @@ Package map — each subpackage is documented in its own ``__init__``:
 * :mod:`repro.kmodes` — exhaustive K-Modes baseline
 * :mod:`repro.kmeans` — K-Means / mini-batch / LSH-K-Means (numeric extension)
 * :mod:`repro.lsh` — MinHash, banding, the clustered index, SimHash, p-stable
+* :mod:`repro.engine` — serial/thread/process execution backends and the
+  sharded index powering parallel fits (``backend=`` / ``n_jobs=``)
 * :mod:`repro.data` — datgen clone, Yahoo-like corpus, TF-IDF pipeline, I/O
 * :mod:`repro.metrics` — purity, NMI, ARI, Jaccard
 * :mod:`repro.experiments` — configs/runner/reports for every paper figure
@@ -51,6 +53,16 @@ from repro.data import (
     RuleBasedGenerator,
     YahooAnswersSynthesizer,
     corpus_to_dataset,
+    load_model,
+    save_model,
+)
+from repro.engine import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardedClusteredLSHIndex,
+    ThreadBackend,
+    resolve_backend,
 )
 from repro.exceptions import (
     ConfigurationError,
@@ -91,6 +103,13 @@ __all__ = [
     "MinHasher",
     "TokenSets",
     "ClusteredLSHIndex",
+    # engine
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "ShardedClusteredLSHIndex",
     # data
     "CategoricalDataset",
     "RuleBasedGenerator",
@@ -98,6 +117,8 @@ __all__ = [
     "QuestionCorpus",
     "corpus_to_dataset",
     "CategoricalEncoder",
+    "save_model",
+    "load_model",
     # metrics
     "cluster_purity",
     "normalized_mutual_information",

@@ -5,9 +5,12 @@ Four subcommands mirror the library's workflow:
 * ``generate`` — materialise a synthetic dataset (datgen-style or
   Yahoo-style) to disk;
 * ``cluster`` — run K-Modes or MH-K-Modes on a saved dataset and
-  print the per-iteration statistics;
+  print the per-phase and per-iteration statistics; ``--backend``,
+  ``--jobs`` and ``--shards`` select the execution engine, and
+  ``--save`` persists the fitted model (npz + json sidecar);
 * ``compare`` — run a named paper experiment (fig2 … fig10) and print
-  the paper-style tables;
+  the paper-style tables (``--backend``/``--jobs`` apply to the MH
+  variants);
 * ``tables`` — print the analytic Tables I and II.
 """
 
@@ -53,11 +56,47 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-iter", type=int, default=100)
     run.add_argument("--absent-code", type=int, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend for the MH engine (default: serial)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for parallel backends (default: one per CPU)",
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="index shard count (default: one per worker when parallel)",
+    )
+    run.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="persist the fitted model as PATH.npz + PATH.json",
+    )
 
     cmp_ = sub.add_parser("compare", help="run a paper experiment")
     cmp_.add_argument(
         "experiment",
         help="experiment id: fig2, fig3, fig4, fig5, fig5xl, fig9, fig10",
+    )
+    cmp_.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend for the MH variants (default: serial)",
+    )
+    cmp_.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for parallel backends (default: one per CPU)",
     )
 
     sub.add_parser("tables", help="print the paper's Tables I and II")
@@ -92,12 +131,24 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.core import MHKModes
-    from repro.data import load_dataset
+    from repro.data import load_dataset, save_model
     from repro.kmodes import KModes
     from repro.metrics import cluster_purity
 
     dataset = load_dataset(args.dataset)
+    if args.algorithm == "mh-kmodes" and args.backend == "serial" and args.jobs:
+        print(
+            "warning: --jobs has no effect with the serial backend; "
+            "pass --backend thread or --backend process",
+            file=sys.stderr,
+        )
     if args.algorithm == "kmodes":
+        if args.backend != "serial" or args.jobs is not None or args.shards is not None:
+            print(
+                "warning: --backend/--jobs/--shards apply to mh-kmodes only; "
+                "the exhaustive kmodes baseline runs in-process",
+                file=sys.stderr,
+            )
         model: KModes | MHKModes = KModes(
             n_clusters=args.clusters, max_iter=args.max_iter, seed=args.seed
         )
@@ -109,13 +160,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             max_iter=args.max_iter,
             seed=args.seed,
             absent_code=args.absent_code,
+            backend=args.backend,
+            n_jobs=args.jobs,
+            n_shards=args.shards,
         )
     model.fit(dataset.X)
     assert model.stats_ is not None and model.labels_ is not None
     print(f"dataset   : {dataset.describe()}")
     print(f"algorithm : {model.stats_.algorithm}")
+    if args.algorithm == "mh-kmodes":
+        jobs = args.jobs if args.jobs is not None else "auto"
+        print(f"engine    : backend={args.backend} jobs={jobs}")
     print(f"iterations: {model.n_iter_} (converged={model.converged_})")
     print(f"setup     : {model.stats_.setup_s:.3f}s")
+    if model.stats_.phase_s:
+        phases = " ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in model.stats_.phase_s.items()
+        )
+        print(f"phases    : {phases}")
     print(f"total     : {model.stats_.total_time_s:.3f}s")
     print(f"cost      : {model.cost_:.0f}")
     print(f"purity    : {cluster_purity(model.labels_, dataset.labels):.4f}")
@@ -129,6 +192,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"  iter {it.iteration:3d}: {it.duration_s:7.3f}s "
             f"moves={it.moves:6d}{shortlist}"
         )
+    if args.save is not None:
+        saved = save_model(model, args.save)
+        print(f"saved     : {saved} (+ {saved.with_suffix('.json').name})")
     return 0
 
 
@@ -150,7 +216,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend == "serial" and args.jobs:
+        print(
+            "warning: --jobs has no effect with the serial backend; "
+            "pass --backend thread or --backend process",
+            file=sys.stderr,
+        )
+    config = config.scaled(backend=args.backend, n_jobs=args.jobs)
     print(config.description)
+    if args.backend != "serial":
+        jobs = args.jobs if args.jobs is not None else "auto"
+        print(f"engine: backend={args.backend} jobs={jobs} (MH variants)")
     if isinstance(config, SyntheticConfig):
         result = run_synthetic_experiment(config)
     else:

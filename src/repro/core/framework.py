@@ -36,6 +36,13 @@ import abc
 import numpy as np
 
 from repro.core.shortlist import FALLBACK_POLICIES, ShortlistAccumulator, apply_fallback
+from repro.engine import (
+    BACKEND_NAMES,
+    ClusteringEngine,
+    ExecutionBackend,
+    ShardedClusteredLSHIndex,
+    resolve_engine,
+)
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.instrumentation import RunStats, Timer
 from repro.lsh.index import ClusteredLSHIndex
@@ -60,6 +67,20 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         ``'online'`` (paper): an item's cluster reference is updated the
         moment it moves, so later items in the same pass see it.
         ``'batch'``: references update at the end of each pass.
+        ``None`` (default) resolves to ``'online'`` on the serial
+        backend and ``'batch'`` on parallel backends, which merge
+        reference updates at a per-pass barrier; requesting
+        ``'online'`` together with a parallel backend is an error.
+    backend:
+        Where the engine runs the fit phases: ``'serial'`` (default,
+        the paper's exact loop), ``'thread'``, ``'process'``, or a
+        pre-built :class:`~repro.engine.ExecutionBackend`.
+    n_jobs:
+        Worker count for parallel backends (default: one per CPU).
+    n_shards:
+        Shard count of the clustered index.  ``None`` means one shard
+        per worker on parallel backends and an unsharded index on
+        serial; results are invariant to the shard count.
     precompute_neighbours:
         Forwarded to :class:`~repro.lsh.index.ClusteredLSHIndex`.
     track_cost:
@@ -78,7 +99,9 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         Per-iteration series (time, moves, mean shortlist size); the
         setup pass is recorded in ``stats_.setup_s``.
     index_:
-        The built :class:`~repro.lsh.index.ClusteredLSHIndex`.
+        The built :class:`~repro.lsh.index.ClusteredLSHIndex` (or
+        :class:`~repro.engine.ShardedClusteredLSHIndex` when the fit
+        ran sharded).
     """
 
     def __init__(
@@ -88,7 +111,10 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         rows: int,
         max_iter: int = 100,
         seed: int | None = None,
-        update_refs: str = "online",
+        update_refs: str | None = None,
+        backend: str | ExecutionBackend = "serial",
+        n_jobs: int | None = None,
+        n_shards: int | None = None,
         precompute_neighbours: bool = True,
         track_cost: bool = True,
         predict_fallback: str = "full",
@@ -101,10 +127,18 @@ class BaseLSHAcceleratedClustering(abc.ABC):
             )
         if max_iter <= 0:
             raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
-        if update_refs not in ("online", "batch"):
+        if update_refs not in ("online", "batch", None):
             raise ConfigurationError(
-                f"update_refs must be 'online' or 'batch', got {update_refs!r}"
+                f"update_refs must be 'online', 'batch' or None, got {update_refs!r}"
             )
+        if isinstance(backend, str) and backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
+            )
+        if n_jobs is not None and n_jobs <= 0:
+            raise ConfigurationError(f"n_jobs must be positive, got {n_jobs}")
+        if n_shards is not None and n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
         if predict_fallback not in FALLBACK_POLICIES:
             raise ConfigurationError(
                 f"predict_fallback must be one of {FALLBACK_POLICIES}, "
@@ -115,6 +149,22 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         self.rows = int(rows)
         self.max_iter = int(max_iter)
         self.seed = seed
+        self.backend = backend
+        self.n_jobs = n_jobs
+        self.n_shards = n_shards
+        parallel = (
+            backend.is_parallel
+            if isinstance(backend, ExecutionBackend)
+            else backend != "serial"
+        )
+        if update_refs is None:
+            update_refs = "batch" if parallel else "online"
+        elif update_refs == "online" and parallel:
+            raise ConfigurationError(
+                "update_refs='online' requires backend='serial'; parallel "
+                "backends merge reference updates at a per-pass barrier "
+                "(update_refs='batch')"
+            )
         self.update_refs = update_refs
         self.precompute_neighbours = bool(precompute_neighbours)
         self.track_cost = bool(track_cost)
@@ -126,7 +176,11 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         self.n_iter_: int = 0
         self.converged_: bool = False
         self.stats_: RunStats | None = None
-        self.index_: ClusteredLSHIndex | None = None
+        self.index_: ClusteredLSHIndex | ShardedClusteredLSHIndex | None = None
+
+    def _make_engine(self) -> ClusteringEngine:
+        """The engine executing this estimator's fit phases."""
+        return resolve_engine(self.backend, self.n_jobs, self.n_shards)
 
     # ------------------------------------------------------------------
     # kernels supplied by concrete algorithms
@@ -178,6 +232,45 @@ class BaseLSHAcceleratedClustering(abc.ABC):
     ) -> float:
         """Clustering cost (only called when ``track_cost`` is on)."""
 
+    # -- optional kernels with generic defaults -------------------------
+
+    def _prepare_signatures(self, X: np.ndarray) -> None:
+        """Freeze any data-dependent encoding state before chunked hashing.
+
+        Called by parallel engines on the *full* matrix before
+        ``_signatures`` runs per chunk, so a chunk's local statistics
+        (e.g. the maximum category code) can never change the encoding.
+        The default does nothing; override when ``_signatures`` infers
+        state from its input.
+        """
+
+    def _block_distances(
+        self, block: np.ndarray, centroid_blocks: np.ndarray
+    ) -> np.ndarray:
+        """Distances from ``block[i]`` to every row of ``centroid_blocks[i]``.
+
+        Parameters
+        ----------
+        block:
+            ``(c, m)`` items.
+        centroid_blocks:
+            ``(c, s, m)`` per-item candidate centroids (padded rows are
+            masked by the caller, so their values are irrelevant).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(c, s)`` distances.  The default loops over the block via
+            ``_point_distances``; override with a fully vectorised
+            kernel — it is the hot path of the parallel backends.
+        """
+        return np.stack(
+            [
+                self._point_distances(block, i, centroid_blocks[i])
+                for i in range(block.shape[0])
+            ]
+        )
+
     # ------------------------------------------------------------------
     # the framework loop
     # ------------------------------------------------------------------
@@ -198,48 +291,52 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         rng = np.random.default_rng(self.seed)
         centroids = self._initial_centroids(X, initial_centroids, rng)
         n = X.shape[0]
+        engine = self._make_engine()
 
         stats = RunStats(algorithm=self._algorithm_name())
 
         # --- setup: one exhaustive pass + one indexing pass (paper's
         # "initial extra step", charged to total time, not per-iteration).
         with Timer() as setup_timer:
-            labels, _ = self._exhaustive_assign(
-                X, centroids, np.full(n, -1, dtype=np.int64)
-            )
-            signatures = self._signatures(X)
-            index = ClusteredLSHIndex(
-                self.bands, self.rows, precompute_neighbours=self.precompute_neighbours
-            )
-            index.build(signatures, labels)
+            with Timer() as exhaustive_timer:
+                labels, _ = engine.exhaustive_assign(
+                    self, X, centroids, np.full(n, -1, dtype=np.int64)
+                )
+            with Timer() as signature_timer:
+                signatures = engine.compute_signatures(self, X)
+            with Timer() as index_timer:
+                index = engine.build_index(self, signatures, labels)
             centroids = self._update_centroids(X, labels, centroids, rng)
         stats.setup_s = setup_timer.elapsed_s
+        stats.phase_s["exhaustive_assign"] = exhaustive_timer.elapsed_s
+        stats.phase_s["signatures"] = signature_timer.elapsed_s
+        stats.phase_s["index_build"] = index_timer.elapsed_s
 
         converged = False
-        for _ in range(self.max_iter):
-            accumulator = ShortlistAccumulator()
-            with Timer() as timer:
-                labels, moves = self._shortlist_pass(
-                    X, centroids, labels, index, accumulator
+        with engine.assignment_session(self, X, index) as session:
+            for _ in range(self.max_iter):
+                accumulator = ShortlistAccumulator()
+                with Timer() as timer:
+                    labels, moves = session.run_pass(centroids, labels, accumulator)
+                    centroids = self._update_centroids(X, labels, centroids, rng)
+                cost = (
+                    self._compute_cost(X, centroids, labels)
+                    if self.track_cost
+                    else float("nan")
                 )
-                centroids = self._update_centroids(X, labels, centroids, rng)
-            cost = (
-                self._compute_cost(X, centroids, labels)
-                if self.track_cost
-                else float("nan")
-            )
-            stats.record(
-                duration_s=timer.elapsed_s,
-                moves=moves,
-                cost=cost,
-                mean_shortlist=accumulator.mean(),
-                n_empty_clusters=self.n_clusters - len(np.unique(labels)),
-            )
-            if moves == 0:
-                converged = True
-                break
+                stats.record(
+                    duration_s=timer.elapsed_s,
+                    moves=moves,
+                    cost=cost,
+                    mean_shortlist=accumulator.mean(),
+                    n_empty_clusters=self.n_clusters - len(np.unique(labels)),
+                )
+                if moves == 0:
+                    converged = True
+                    break
 
         stats.converged = converged
+        stats.phase_s["iterations"] = sum(it.duration_s for it in stats.iterations)
         self.centroids_ = centroids
         self.labels_ = labels
         self.cost_ = float(self._compute_cost(X, centroids, labels))
@@ -262,7 +359,7 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         X: np.ndarray,
         centroids: np.ndarray,
         labels: np.ndarray,
-        index: ClusteredLSHIndex,
+        index: ClusteredLSHIndex | ShardedClusteredLSHIndex,
         accumulator: ShortlistAccumulator,
     ) -> tuple[np.ndarray, int]:
         """One assignment pass over all items using index shortlists.

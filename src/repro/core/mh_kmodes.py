@@ -66,7 +66,8 @@ class MHKModes(BaseLSHAcceleratedClustering):
     empty_cluster_policy:
         Forwarded to the mode update: ``'keep'``, ``'reinit'``,
         ``'error'``.
-    update_refs, precompute_neighbours, track_cost, predict_fallback:
+    update_refs, backend, n_jobs, n_shards, precompute_neighbours,
+    track_cost, predict_fallback:
         See :class:`~repro.core.framework.BaseLSHAcceleratedClustering`.
     chunk_items:
         Chunk size of the one-off exhaustive setup pass.
@@ -95,7 +96,10 @@ class MHKModes(BaseLSHAcceleratedClustering):
         absent_code: int | None = None,
         domain_size: int | None = None,
         empty_cluster_policy: str = "keep",
-        update_refs: str = "online",
+        update_refs: str | None = None,
+        backend="serial",
+        n_jobs: int | None = None,
+        n_shards: int | None = None,
         precompute_neighbours: bool = True,
         track_cost: bool = True,
         predict_fallback: str = "full",
@@ -108,6 +112,9 @@ class MHKModes(BaseLSHAcceleratedClustering):
             max_iter=max_iter,
             seed=seed,
             update_refs=update_refs,
+            backend=backend,
+            n_jobs=n_jobs,
+            n_shards=n_shards,
             precompute_neighbours=precompute_neighbours,
             track_cost=track_cost,
             predict_fallback=predict_fallback,
@@ -170,6 +177,12 @@ class MHKModes(BaseLSHAcceleratedClustering):
             )
         return resolve_init(self.init)(X, self.n_clusters, rng)
 
+    def _prepare_signatures(self, X: np.ndarray) -> None:
+        # Freeze the inferred domain on the full matrix before any
+        # chunked hashing, so chunk-local maxima cannot change tokens.
+        if self.domain_size is None and self._fitted_domain_size is None:
+            self._fitted_domain_size = int(X.max()) + 1
+
     def _signatures(self, X: np.ndarray) -> np.ndarray:
         domain = self.domain_size
         if domain is None:
@@ -212,6 +225,13 @@ class MHKModes(BaseLSHAcceleratedClustering):
         # public API's validation (inputs are trusted here, and this
         # runs once per item per iteration).
         return np.count_nonzero(centroids != X[item][None, :], axis=1)
+
+    def _block_distances(
+        self, block: np.ndarray, centroid_blocks: np.ndarray
+    ) -> np.ndarray:
+        # Vectorised matching distance for the engine's chunked passes:
+        # (c, s) mismatch counts in one comparison tensor.
+        return np.count_nonzero(centroid_blocks != block[:, None, :], axis=2)
 
     def _update_centroids(
         self,

@@ -124,6 +124,13 @@ class StreamingMHKModes:
         ``'error'`` — raise instead.
     max_iter:
         Iteration cap of the bootstrap fit.
+    backend, n_jobs, n_shards:
+        Engine knobs forwarded to the bootstrap fit (see
+        :class:`~repro.core.framework.BaseLSHAcceleratedClustering`).
+        With a parallel backend the bootstrap runs chunked batch
+        passes; with ``n_shards > 1`` the insertable index is a
+        :class:`~repro.engine.ShardedClusteredLSHIndex` and streamed
+        arrivals are hashed into the shards round-robin.
 
     Attributes
     ----------
@@ -157,6 +164,9 @@ class StreamingMHKModes:
         refresh_interval: int = 200,
         stream_fallback: str = "full",
         max_iter: int = 100,
+        backend="serial",
+        n_jobs: int | None = None,
+        n_shards: int | None = None,
     ):
         if refresh_interval <= 0:
             raise ConfigurationError(
@@ -175,6 +185,9 @@ class StreamingMHKModes:
         self.refresh_interval = int(refresh_interval)
         self.stream_fallback = stream_fallback
         self.max_iter = int(max_iter)
+        self.backend = backend
+        self.n_jobs = n_jobs
+        self.n_shards = n_shards
 
         self._bootstrap_model: MHKModes | None = None
         self._hasher: MinHasher | None = None
@@ -199,6 +212,9 @@ class StreamingMHKModes:
             absent_code=self.absent_code,
             domain_size=self.domain_size,
             max_iter=self.max_iter,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+            n_shards=self.n_shards,
             precompute_neighbours=False,  # keeps the index insertable
         )
         model.fit(X, initial_centroids=initial_centroids)

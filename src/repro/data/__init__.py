@@ -14,7 +14,8 @@ rebuilds both from their descriptions:
   vocabulary, and the TF-IDF word selection of Section IV-B;
 * :mod:`repro.data.encoding` — raw-value → integer-code encoders and
   the binary word-presence encoding with feature-name augmentation;
-* :mod:`repro.data.io` — save/load round trips (npz + jsonl).
+* :mod:`repro.data.io` — save/load round trips for datasets,
+  corpora and fitted models (npz + jsonl/json sidecars).
 """
 
 from repro.data.datgen import ClusterRule, RuleBasedGenerator
@@ -24,7 +25,14 @@ from repro.data.encoding import (
     augment_presence_features,
     encode_presence_matrix,
 )
-from repro.data.io import load_dataset, load_corpus, save_dataset, save_corpus
+from repro.data.io import (
+    load_corpus,
+    load_dataset,
+    load_model,
+    save_corpus,
+    save_dataset,
+    save_model,
+)
 from repro.data.text import Vocabulary, tokenize
 from repro.data.tfidf import TfIdfVectorizer, select_topic_vocabulary
 from repro.data.yahoo import QuestionCorpus, YahooAnswersSynthesizer, corpus_to_dataset
@@ -47,4 +55,6 @@ __all__ = [
     "load_dataset",
     "save_corpus",
     "load_corpus",
+    "save_model",
+    "load_model",
 ]

@@ -1,13 +1,23 @@
-"""Dataset and corpus persistence.
+"""Dataset, corpus and fitted-model persistence.
 
 Datasets round-trip through ``.npz`` (matrices) plus embedded JSON
 metadata; corpora round-trip through JSON-lines, one question per
 line.  Both formats are self-describing and diff-friendly enough for
 experiment artefacts.
+
+Fitted estimators round-trip through an ``.npz`` (centroids, labels,
+index band keys) plus a ``.json`` sidecar (constructor parameters —
+hash seeds, banding, engine knobs — and scalar fitted state).  The
+clustered LSH index is *not* serialised bucket by bucket: band keys
+fully determine the buckets, so :func:`load_model` rebuilds the index
+with :meth:`~repro.lsh.index.ClusteredLSHIndex.from_band_keys` and the
+loaded model predicts exactly like the original — including sharded
+fits, which can be saved on one machine and reloaded on another.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 from pathlib import Path
 
@@ -15,9 +25,16 @@ import numpy as np
 
 from repro.data.dataset import CategoricalDataset
 from repro.data.yahoo import QuestionCorpus
-from repro.exceptions import DataValidationError
+from repro.exceptions import DataValidationError, NotFittedError
 
-__all__ = ["save_dataset", "load_dataset", "save_corpus", "load_corpus"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_corpus",
+    "load_corpus",
+    "save_model",
+    "load_model",
+]
 
 
 def save_dataset(dataset: CategoricalDataset, path: str | Path) -> Path:
@@ -119,3 +136,176 @@ def load_corpus(path: str | Path) -> QuestionCorpus:
         topic_names=header["topic_names"],
         metadata=header.get("metadata", {}),
     )
+
+
+# ----------------------------------------------------------------------
+# fitted-model persistence
+# ----------------------------------------------------------------------
+
+#: Format tag written into every model sidecar.
+_MODEL_KIND = "repro.Model"
+_MODEL_FORMAT_VERSION = 1
+
+#: Non-parameter fitted attributes persisted when present (per class,
+#: attribute name → saved verbatim in the sidecar).
+_EXTRA_STATE_ATTRS = ("_fitted_domain_size",)
+
+
+def _model_registry() -> dict[str, type]:
+    """Persistable estimator classes, resolved lazily to avoid cycles."""
+    from repro.core.mh_kmodes import MHKModes
+    from repro.kmeans.mh_kmeans import LSHKMeans
+    from repro.kmodes.kmodes import KModes
+
+    return {cls.__name__: cls for cls in (MHKModes, LSHKMeans, KModes)}
+
+
+def _constructor_params(model) -> dict:
+    """Recover constructor arguments from same-named attributes."""
+    from repro.engine import ExecutionBackend
+
+    params = {}
+    for name in inspect.signature(type(model).__init__).parameters:
+        if name == "self" or not hasattr(model, name):
+            continue
+        value = getattr(model, name)
+        if isinstance(value, ExecutionBackend):
+            value = value.name  # backends persist by name, not by pool
+        if isinstance(value, np.generic):
+            value = value.item()
+        params[name] = value
+    return params
+
+
+def save_model(model, path: str | Path) -> Path:
+    """Write a fitted estimator as ``<path>.npz`` + ``<path>.json``.
+
+    The npz holds the arrays (centroids, training labels, index band
+    keys); the json sidecar holds the constructor parameters and scalar
+    fitted state, human-readable for provenance.  Supported classes:
+    ``MHKModes``, ``LSHKMeans`` and the exhaustive ``KModes`` baseline.
+
+    Returns the npz path; the sidecar sits next to it.
+    """
+    cls_name = type(model).__name__
+    if cls_name not in _model_registry():
+        raise DataValidationError(
+            f"cannot persist {cls_name}; supported classes are "
+            f"{sorted(_model_registry())}"
+        )
+    labels = getattr(model, "labels_", None)
+    if labels is None:
+        raise NotFittedError("cannot save an unfitted model; call fit first")
+    centroids = getattr(model, "centroids_", None)
+    if centroids is None:
+        centroids = model.modes_  # KModes terminology
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays = {"centroids": centroids, "labels": labels}
+    index = getattr(model, "index_", None)
+    if index is not None:
+        arrays["index_band_keys"] = index.band_keys
+        arrays["index_assignments"] = index.assignments
+    np.savez_compressed(path, **arrays)
+
+    sidecar = {
+        "kind": _MODEL_KIND,
+        "format_version": _MODEL_FORMAT_VERSION,
+        "class": cls_name,
+        "params": _constructor_params(model),
+        "extra_state": {
+            name: getattr(model, name)
+            for name in _EXTRA_STATE_ATTRS
+            if getattr(model, name, None) is not None
+        },
+        "fitted": {
+            "cost_": float(model.cost_),
+            "n_iter_": int(model.n_iter_),
+            "converged_": bool(model.converged_),
+        },
+    }
+    path.with_suffix(".json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_model(path: str | Path):
+    """Reconstruct an estimator written by :func:`save_model`.
+
+    The constructor runs with the persisted parameters, fitted arrays
+    are restored, and — for LSH-accelerated models — the clustered
+    index is rebuilt from its band keys, so ``predict`` behaves exactly
+    as on the instance that was saved.  ``stats_`` is not persisted
+    (it describes the original fitting run, not the model).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    sidecar_path = path.with_suffix(".json")
+    if not path.exists() or not sidecar_path.exists():
+        raise DataValidationError(
+            f"no such model: expected both {path} and {sidecar_path}"
+        )
+    sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+    if sidecar.get("kind") != _MODEL_KIND:
+        raise DataValidationError(f"{sidecar_path} is not a repro model sidecar")
+    version = sidecar.get("format_version", 0)
+    if version > _MODEL_FORMAT_VERSION:
+        raise DataValidationError(
+            f"{sidecar_path} has format_version {version}; this build reads "
+            f"up to {_MODEL_FORMAT_VERSION}"
+        )
+    cls = _model_registry().get(sidecar.get("class", ""))
+    if cls is None:
+        raise DataValidationError(
+            f"unknown model class {sidecar.get('class')!r} in {sidecar_path}"
+        )
+
+    model = cls(**sidecar.get("params", {}))
+    for name, value in sidecar.get("extra_state", {}).items():
+        setattr(model, name, value)
+    for name, value in sidecar.get("fitted", {}).items():
+        setattr(model, name, value)
+
+    with np.load(path, allow_pickle=False) as archive:
+        required = {"centroids", "labels"}
+        missing = required - set(archive.files)
+        if missing:
+            raise DataValidationError(
+                f"{path} is not a repro model archive (missing {sorted(missing)})"
+            )
+        centroids = archive["centroids"]
+        labels = archive["labels"]
+        band_keys = (
+            archive["index_band_keys"]
+            if "index_band_keys" in archive.files
+            else None
+        )
+        index_assignments = (
+            archive["index_assignments"]
+            if "index_assignments" in archive.files
+            else None
+        )
+
+    if hasattr(model, "centroids_"):
+        model.centroids_ = centroids
+    else:
+        model.modes_ = centroids  # KModes
+    model.labels_ = labels
+    if band_keys is not None and index_assignments is not None:
+        # Rebuild in-process regardless of the model's fitted backend:
+        # results are backend-invariant and a read-only load should not
+        # fork a worker pool as a side effect.  The persisted n_shards
+        # is honoured, so sharded fits reload sharded.
+        from repro.engine import ClusteringEngine, SerialBackend
+
+        engine = ClusteringEngine(SerialBackend(), n_shards=model.n_shards)
+        model.index_ = engine.index_from_band_keys(
+            model, band_keys, index_assignments
+        )
+    return model

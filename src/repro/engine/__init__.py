@@ -1,0 +1,48 @@
+"""Pluggable parallel execution for the clustering framework.
+
+The engine subsystem scales every phase of an LSH-accelerated fit —
+signature hashing, index construction, the per-iteration shortlist
+assignment — across workers, behind one seam:
+
+* :mod:`repro.engine.backends` — ``serial`` / ``thread`` / ``process``
+  :class:`ExecutionBackend` strategies with reusable worker sessions;
+* :mod:`repro.engine.chunking` — contiguous chunk iterators shared by
+  every phase;
+* :mod:`repro.engine.sharded_index` —
+  :class:`ShardedClusteredLSHIndex`, per-shard bucket tables whose
+  union reproduces the global index exactly (shard-count invariant);
+* :mod:`repro.engine.parallel` — :class:`ClusteringEngine`, the phase
+  executor the framework delegates to, including the vectorised
+  chunked batch assignment pass.
+
+Estimators expose it as ``backend=`` / ``n_jobs=`` / ``n_shards=``
+parameters; the default ``backend='serial'`` reproduces the paper's
+online semantics byte for byte, while the parallel backends run batch
+passes that are identical across backends, chunkings and shard counts.
+"""
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.engine.chunking import chunk_ranges, iter_blocks
+from repro.engine.parallel import ClusteringEngine, resolve_engine
+from repro.engine.sharded_index import ShardedClusteredLSHIndex
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "chunk_ranges",
+    "iter_blocks",
+    "ClusteringEngine",
+    "resolve_engine",
+    "ShardedClusteredLSHIndex",
+]

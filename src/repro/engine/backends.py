@@ -1,0 +1,277 @@
+"""Pluggable execution backends for the clustering engine.
+
+Every parallel phase of the engine is phrased the same way: a
+module-level *kernel* ``fn(static, dynamic, task)`` is mapped over a
+list of small tasks (usually item spans), where
+
+* ``static`` is bulky read-only state fixed for the lifetime of a
+  :class:`BackendSession` (the item matrix, neighbour lists, the
+  model's kernels);
+* ``dynamic`` is small per-call state (current centroids and labels);
+* ``task`` is the unit of work (a ``(start, stop)`` span, a shard id).
+
+Backends differ only in *where* the kernel runs:
+
+``serial``
+    In-process, one task at a time.  Zero overhead, and the engine
+    additionally routes the assignment loop through the paper's exact
+    online per-item pass (see :mod:`repro.engine.parallel`).
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  The chunk
+    kernels spend their time in numpy, which releases the GIL, so
+    threads scale for the distance-dominated phases and share
+    ``static`` for free.
+``process``
+    A :mod:`multiprocessing` pool.  Where the platform supports the
+    ``fork`` start method (Linux), workers inherit ``static`` through
+    copy-on-write memory and nothing bulky is ever pickled; elsewhere
+    ``static`` is shipped once per worker at session start.  Only
+    ``dynamic`` and the small partial results cross the pipe per call.
+
+Kernels must be module-level functions and their arguments picklable so
+the process backend can dispatch them; the serial and thread backends
+impose no such restriction but the engine keeps the discipline anyway.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendSession",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+]
+
+#: Backend names accepted by ``backend=`` parameters, in the order the
+#: documentation presents them.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Kernel signature every backend maps over tasks.
+Kernel = Callable[[Any, Any, Any], Any]
+
+
+def default_n_jobs() -> int:
+    """Worker count used when ``n_jobs`` is not given (one per CPU)."""
+    return os.cpu_count() or 1
+
+
+class BackendSession(abc.ABC):
+    """A worker pool bound to one ``static`` payload.
+
+    Sessions are context managers; the engine opens one per phase (or
+    one for all iterations of the assignment loop) and issues any
+    number of :meth:`run` calls inside it.
+    """
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @abc.abstractmethod
+    def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
+        """Apply ``fn(static, dynamic, task)`` to every task, in order."""
+
+    def close(self) -> None:
+        """Release the session's workers (idempotent)."""
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy object deciding where engine kernels execute."""
+
+    #: Identifier used in ``backend=`` parameters and run statistics.
+    name: str = "abstract"
+
+    def __init__(self, n_jobs: int | None = None):
+        if n_jobs is not None and n_jobs <= 0:
+            raise ConfigurationError(f"n_jobs must be positive, got {n_jobs}")
+        self.n_jobs = int(n_jobs) if n_jobs is not None else default_n_jobs()
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this backend runs tasks outside the calling thread."""
+        return self.name != "serial"
+
+    @abc.abstractmethod
+    def session(self, static: Any = None) -> BackendSession:
+        """Open a worker session holding ``static`` read-only state."""
+
+    def run(
+        self, fn: Kernel, tasks: list, static: Any = None, dynamic: Any = None
+    ) -> list:
+        """One-shot convenience: open a session, run, tear down."""
+        with self.session(static) as session:
+            return session.run(fn, tasks, dynamic)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_jobs={self.n_jobs})"
+
+
+# ----------------------------------------------------------------------
+# serial
+# ----------------------------------------------------------------------
+
+
+class _SerialSession(BackendSession):
+    def __init__(self, static: Any):
+        self._static = static
+
+    def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
+        return [fn(self._static, dynamic, task) for task in tasks]
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task in the calling thread (the default)."""
+
+    name = "serial"
+
+    def __init__(self, n_jobs: int | None = None):
+        super().__init__(1 if n_jobs is None else n_jobs)
+
+    def session(self, static: Any = None) -> BackendSession:
+        return _SerialSession(static)
+
+
+# ----------------------------------------------------------------------
+# threads
+# ----------------------------------------------------------------------
+
+
+class _ThreadSession(BackendSession):
+    def __init__(self, static: Any, n_jobs: int):
+        self._static = static
+        self._executor: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=n_jobs, thread_name_prefix="repro-engine"
+        )
+
+    def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
+        assert self._executor is not None, "session is closed"
+        static = self._static
+        return list(
+            self._executor.map(lambda task: fn(static, dynamic, task), tasks)
+        )
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run tasks on a shared-memory thread pool."""
+
+    name = "thread"
+
+    def session(self, static: Any = None) -> BackendSession:
+        return _ThreadSession(static, self.n_jobs)
+
+
+# ----------------------------------------------------------------------
+# processes
+# ----------------------------------------------------------------------
+
+#: Per-worker slot for the session's static payload.  Set by
+#: :func:`_init_process_worker` (from fork-inherited memory on Linux,
+#: from a once-per-worker pickle elsewhere).
+_PROCESS_STATIC: Any = None
+
+
+def _init_process_worker(static: Any) -> None:
+    global _PROCESS_STATIC
+    _PROCESS_STATIC = static
+
+
+def _invoke_in_process(call: tuple) -> Any:
+    fn, dynamic, task = call
+    return fn(_PROCESS_STATIC, dynamic, task)
+
+
+class _ProcessSession(BackendSession):
+    def __init__(self, static: Any, n_jobs: int):
+        # fork keeps ``static`` out of the pickle pipe entirely; the
+        # spawn fallback ships it once per worker via the initializer.
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        context = multiprocessing.get_context(method)
+        self._pool = context.Pool(
+            processes=n_jobs,
+            initializer=_init_process_worker,
+            initargs=(static,),
+        )
+
+    def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
+        assert self._pool is not None, "session is closed"
+        return self._pool.map(
+            _invoke_in_process, [(fn, dynamic, task) for task in tasks]
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run tasks on a pool of worker processes."""
+
+    name = "process"
+
+    def session(self, static: Any = None) -> BackendSession:
+        return _ProcessSession(static, self.n_jobs)
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+
+_BACKEND_CLASSES: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend, n_jobs: int | None = None
+) -> ExecutionBackend:
+    """Turn a ``backend=`` argument into an :class:`ExecutionBackend`.
+
+    Parameters
+    ----------
+    backend:
+        A backend name from :data:`BACKEND_NAMES` or an already
+        constructed backend (returned unchanged; ``n_jobs`` must then
+        be ``None``).
+    n_jobs:
+        Worker count for named backends; defaults to one worker per
+        CPU for the parallel backends and is fixed at 1 for serial.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if n_jobs is not None and n_jobs != backend.n_jobs:
+            raise ConfigurationError(
+                f"n_jobs={n_jobs} conflicts with the provided backend's "
+                f"n_jobs={backend.n_jobs}; configure one or the other"
+            )
+        return backend
+    cls = _BACKEND_CLASSES.get(backend)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKEND_NAMES}"
+        )
+    return cls(n_jobs)

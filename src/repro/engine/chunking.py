@@ -1,0 +1,59 @@
+"""Chunk iterators shared by every parallel phase of the engine.
+
+All engine parallelism is expressed as "run this kernel over contiguous
+item spans and merge the partial results".  Contiguity matters twice:
+
+* numpy slices of contiguous spans are views, so serial and threaded
+  workers never copy the item matrix;
+* results concatenate back in task order, which keeps every chunked
+  phase bit-identical to its unchunked counterpart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["chunk_ranges", "iter_blocks"]
+
+
+def chunk_ranges(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into at most ``n_chunks`` balanced spans.
+
+    Spans are contiguous, cover every item exactly once, appear in item
+    order, and differ in length by at most one.  Empty spans are never
+    produced, so fewer than ``n_chunks`` spans come back when
+    ``n_items < n_chunks``.
+
+    Examples
+    --------
+    >>> chunk_ranges(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    >>> chunk_ranges(2, 8)
+    [(0, 1), (1, 2)]
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be non-negative, got {n_items}")
+    if n_chunks <= 0:
+        raise ConfigurationError(f"n_chunks must be positive, got {n_chunks}")
+    n_chunks = min(n_chunks, n_items)
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for chunk in range(n_chunks):
+        size = n_items // n_chunks + (1 if chunk < n_items % n_chunks else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def iter_blocks(start: int, stop: int, block: int) -> Iterator[tuple[int, int]]:
+    """Walk ``[start, stop)`` in sub-spans of at most ``block`` items.
+
+    Used inside chunk workers to bound the memory of the padded
+    distance tensors without changing the per-item results.
+    """
+    if block <= 0:
+        raise ConfigurationError(f"block must be positive, got {block}")
+    for lo in range(start, stop, block):
+        yield lo, min(lo + block, stop)

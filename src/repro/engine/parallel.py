@@ -1,0 +1,348 @@
+"""The clustering engine: every fit phase, chunked over one seam.
+
+:class:`ClusteringEngine` is the object
+:class:`~repro.core.framework.BaseLSHAcceleratedClustering` delegates
+its phases to.  Each phase is a map of a module-level kernel over
+contiguous item spans:
+
+* **exhaustive assignment** (setup) — row chunks through the model's
+  own ``_exhaustive_assign`` kernel, merged by concatenation;
+* **signatures** — row chunks through ``_signatures`` after the model
+  has frozen any data-dependent encoding state (``_prepare_signatures``);
+* **index build** — delegated to
+  :class:`~repro.engine.sharded_index.ShardedClusteredLSHIndex`, one
+  task per shard;
+* **assignment pass** — the per-iteration hot loop.
+
+Semantics: the serial backend runs the paper's exact *online* per-item
+pass (``update_refs='online'`` reassignments are visible to later items
+in the same pass).  Parallel backends run **batch** passes: every chunk
+scores its items against the labels frozen at the start of the pass,
+and move counts, shortlist statistics and cluster references merge at a
+per-pass barrier.  A batch pass partitions into chunks without changing
+any per-item decision, so labels are identical for any chunking, any
+shard count, and any backend — the backend-equivalence tests assert
+exactly this.
+
+The parallel pass is also *vectorised*: per chunk, the ragged
+shortlists are built with one segmented ``np.unique`` over
+``item * k + label`` keys, padded into a dense block, and scored with
+the model's ``_block_distances`` kernel instead of one tiny distance
+call per item.  Tie-breaking replicates the serial rule (keep the
+current cluster whenever it is at least as close as the best
+candidate; first minimum wins among the sorted shortlist).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.engine.backends import ExecutionBackend, resolve_backend
+from repro.engine.chunking import chunk_ranges, iter_blocks
+from repro.engine.sharded_index import ShardedClusteredLSHIndex
+from repro.exceptions import ConfigurationError
+from repro.lsh.index import ClusteredLSHIndex
+
+__all__ = ["ClusteringEngine", "resolve_engine"]
+
+#: Rough element budget for one padded ``(rows, smax, m)`` distance
+#: tensor inside a chunk worker; blocks are sliced to stay under it.
+_BLOCK_ELEMENT_BUDGET = 4_000_000
+
+#: Items handled per vectorised sub-block before memory capping.
+_BLOCK_ITEMS = 1024
+
+AnyIndex = ClusteredLSHIndex | ShardedClusteredLSHIndex
+
+
+# ----------------------------------------------------------------------
+# kernels (module-level so the process backend can dispatch them)
+# ----------------------------------------------------------------------
+
+
+def _exhaustive_chunk(
+    static: tuple, dynamic: tuple, span: tuple[int, int]
+) -> np.ndarray:
+    """Exhaustively assign one row span (labels chunk only)."""
+    model, X = static
+    (centroids, labels) = dynamic
+    start, stop = span
+    chunk_labels, _ = model._exhaustive_assign(
+        X[start:stop], centroids, labels[start:stop]
+    )
+    return chunk_labels
+
+
+def _signature_chunk(static: tuple, dynamic: None, span: tuple[int, int]) -> np.ndarray:
+    """Signatures of one row span (encoding state already frozen)."""
+    model, X = static
+    start, stop = span
+    return model._signatures(X[start:stop])
+
+
+def _assignment_chunk(
+    static: tuple, dynamic: tuple, span: tuple[int, int]
+) -> tuple[np.ndarray, int, int, int]:
+    """One chunk of a batch assignment pass.
+
+    Returns ``(new_labels_chunk, moves, shortlist_total, shortlist_max)``;
+    the session merges chunks in task order.
+    """
+    model, X, indptr, indices = static
+    centroids, labels = dynamic
+    start, stop = span
+    k = int(model.n_clusters)
+    m = X.shape[1]
+    out = np.empty(stop - start, dtype=np.int64)
+    moves = 0
+    shortlist_total = 0
+    shortlist_max = 0
+    for lo, hi in iter_blocks(start, stop, _BLOCK_ITEMS):
+        count = hi - lo
+        # --- segmented shortlist build: one np.unique over the whole
+        # block.  Keys ``local_item * k + label`` sort by item first,
+        # then ascending label, reproducing per-item np.unique exactly.
+        flat = indices[indptr[lo] : indptr[hi]]
+        lengths = indptr[lo + 1 : hi + 1] - indptr[lo:hi]
+        local = np.repeat(np.arange(count, dtype=np.int64), lengths)
+        uniq = np.unique(local * k + labels[flat])
+        u_item = uniq // k
+        u_label = uniq - u_item * k
+        sizes = np.bincount(u_item, minlength=count)
+        smax = int(sizes.max())
+        offsets = np.concatenate([[0], np.cumsum(sizes[:-1])])
+        positions = np.arange(len(uniq)) - offsets[u_item]
+        padded = np.zeros((count, smax), dtype=np.int64)
+        valid = np.zeros((count, smax), dtype=bool)
+        padded[u_item, positions] = u_label
+        valid[u_item, positions] = True
+
+        block = X[lo:hi]
+        current = labels[lo:hi]
+        current_distance = model._block_distances(
+            block, centroids[current[:, None]]
+        )[:, 0]
+        best_label = np.empty(count, dtype=np.int64)
+        best_distance = np.empty(count, dtype=np.float64)
+        rows_at_once = max(1, min(count, _BLOCK_ELEMENT_BUDGET // max(1, smax * m)))
+        for r0, r1 in iter_blocks(0, count, rows_at_once):
+            distances = np.asarray(
+                model._block_distances(block[r0:r1], centroids[padded[r0:r1]]),
+                dtype=np.float64,
+            )
+            distances[~valid[r0:r1]] = np.inf
+            rows = np.arange(r1 - r0)
+            best_pos = np.argmin(distances, axis=1)
+            best_distance[r0:r1] = distances[rows, best_pos]
+            best_label[r0:r1] = padded[r0:r1][rows, best_pos]
+        keep = current_distance <= best_distance
+        out[lo - start : hi - start] = np.where(keep, current, best_label)
+        moves += int(np.count_nonzero(~keep))
+        shortlist_total += int(sizes.sum())
+        shortlist_max = max(shortlist_max, smax)
+    return out, moves, shortlist_total, shortlist_max
+
+
+# ----------------------------------------------------------------------
+# assignment sessions
+# ----------------------------------------------------------------------
+
+
+class _SerialAssignmentSession:
+    """Runs the paper's per-item pass (online or batch) unchanged."""
+
+    def __init__(self, model, X: np.ndarray, index: AnyIndex):
+        self._model = model
+        self._X = X
+        self._index = index
+
+    def run_pass(self, centroids, labels, accumulator):
+        return self._model._shortlist_pass(
+            self._X, centroids, labels, self._index, accumulator
+        )
+
+
+class _ParallelAssignmentSession:
+    """Chunked batch passes over a live backend session.
+
+    The per-item neighbour lists are flattened once into a CSR pair at
+    session open (they are static — buckets never change after build),
+    so the per-pass work inside workers is pure array slicing.
+    """
+
+    def __init__(self, model, X, index: AnyIndex, backend: ExecutionBackend):
+        self._index = index
+        self._n = X.shape[0]
+        self._n_tasks = backend.n_jobs
+        indptr, indices = _neighbour_csr(index, self._n)
+        self._session = backend.session((model, X, indptr, indices))
+
+    def run_pass(self, centroids, labels, accumulator):
+        spans = chunk_ranges(self._n, self._n_tasks)
+        results = self._session.run(
+            _assignment_chunk, spans, dynamic=(centroids, labels)
+        )
+        new_labels = np.concatenate([chunk for chunk, _, _, _ in results])
+        moves = sum(chunk_moves for _, chunk_moves, _, _ in results)
+        accumulator.add_many(
+            sum(total for _, _, total, _ in results),
+            self._n,
+            max(chunk_max for _, _, _, chunk_max in results),
+        )
+        self._index.set_assignments(new_labels)
+        return new_labels, moves
+
+    def close(self) -> None:
+        self._session.close()
+
+
+def _neighbour_csr(index: AnyIndex, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-item neighbour lists into ``(indptr, indices)``."""
+    groups = index.neighbour_groups()
+    if groups is not None:
+        group_of, group_neighbours = groups
+        per_item = [group_neighbours[g] for g in group_of]
+    else:
+        per_item = [index.candidate_items(i) for i in range(n)]
+    lengths = np.fromiter((len(nb) for nb in per_item), dtype=np.int64, count=n)
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    indices = np.concatenate(per_item) if n else np.empty(0, dtype=np.int64)
+    return indptr, indices
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+class ClusteringEngine:
+    """Executes the phases of one fit on a chosen backend.
+
+    Parameters
+    ----------
+    backend:
+        Where kernels run; see :mod:`repro.engine.backends`.
+    n_shards:
+        Shard count for the index.  ``None`` means one shard per
+        worker for parallel backends and an unsharded
+        :class:`~repro.lsh.index.ClusteredLSHIndex` for serial.
+    """
+
+    def __init__(self, backend: ExecutionBackend, n_shards: int | None = None):
+        if n_shards is not None and n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
+        self.backend = backend
+        self.n_shards = n_shards
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.backend.is_parallel
+
+    def resolved_shards(self) -> int:
+        if self.n_shards is not None:
+            return self.n_shards
+        return self.backend.n_jobs if self.is_parallel else 1
+
+    # -- setup phases ---------------------------------------------------
+
+    def exhaustive_assign(
+        self, model, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """The one-off exact pass, chunked by rows on parallel backends."""
+        if not self.is_parallel:
+            return model._exhaustive_assign(X, centroids, labels)
+        spans = chunk_ranges(X.shape[0], self.backend.n_jobs)
+        chunks = self.backend.run(
+            _exhaustive_chunk,
+            spans,
+            static=(model, X),
+            dynamic=(centroids, labels),
+        )
+        new_labels = np.concatenate(chunks)
+        moves = int(np.count_nonzero(new_labels != labels))
+        return new_labels, moves
+
+    def compute_signatures(self, model, X: np.ndarray) -> np.ndarray:
+        """Hash every item once, chunked by rows on parallel backends."""
+        if not self.is_parallel:
+            return model._signatures(X)
+        # Freeze data-dependent encoding state (e.g. the inferred token
+        # domain) on the FULL matrix before any chunk is hashed, so a
+        # chunk's local maximum can never change the encoding.
+        model._prepare_signatures(X)
+        spans = chunk_ranges(X.shape[0], self.backend.n_jobs)
+        chunks = self.backend.run(_signature_chunk, spans, static=(model, X))
+        return np.concatenate(chunks)
+
+    def build_index(
+        self, model, signatures: np.ndarray, labels: np.ndarray
+    ) -> AnyIndex:
+        """Build the clustered index (sharded when shards > 1)."""
+        shards = self.resolved_shards()
+        if shards == 1 and not self.is_parallel:
+            index = ClusteredLSHIndex(
+                model.bands,
+                model.rows,
+                precompute_neighbours=model.precompute_neighbours,
+            )
+            index.build(signatures, labels)
+            return index
+        sharded = ShardedClusteredLSHIndex(
+            model.bands,
+            model.rows,
+            n_shards=shards,
+            precompute_neighbours=model.precompute_neighbours,
+        )
+        sharded.build(signatures, labels, backend=self.backend)
+        return sharded
+
+    def index_from_band_keys(
+        self, model, band_keys: np.ndarray, assignments: np.ndarray
+    ) -> AnyIndex:
+        """Rebuild the fitted index from persisted band keys."""
+        shards = self.resolved_shards()
+        if shards == 1 and not self.is_parallel:
+            return ClusteredLSHIndex.from_band_keys(
+                model.bands,
+                model.rows,
+                band_keys,
+                assignments,
+                precompute_neighbours=model.precompute_neighbours,
+            )
+        return ShardedClusteredLSHIndex.from_band_keys(
+            model.bands,
+            model.rows,
+            band_keys,
+            assignments,
+            n_shards=shards,
+            precompute_neighbours=model.precompute_neighbours,
+            backend=self.backend,
+        )
+
+    # -- iteration phase ------------------------------------------------
+
+    @contextmanager
+    def assignment_session(
+        self, model, X: np.ndarray, index: AnyIndex
+    ) -> Iterator[Any]:
+        """Session object whose ``run_pass`` executes one assignment pass."""
+        if not self.is_parallel:
+            yield _SerialAssignmentSession(model, X, index)
+            return
+        session = _ParallelAssignmentSession(model, X, index, self.backend)
+        try:
+            yield session
+        finally:
+            session.close()
+
+
+def resolve_engine(
+    backend: str | ExecutionBackend,
+    n_jobs: int | None = None,
+    n_shards: int | None = None,
+) -> ClusteringEngine:
+    """Build a :class:`ClusteringEngine` from estimator parameters."""
+    return ClusteringEngine(resolve_backend(backend, n_jobs), n_shards=n_shards)

@@ -98,6 +98,10 @@ class SyntheticConfig:
     noise_rate: float = 0.1
     max_iter: int = 12
     seed: int = 2016
+    # Engine knobs for the MH variants ('serial' reproduces the paper's
+    # online loop; parallel backends run batch passes).
+    backend: str = "serial"
+    n_jobs: int | None = None
 
     def scaled(self, **overrides) -> "SyntheticConfig":
         """A copy with some fields replaced (for scaling studies)."""
@@ -118,6 +122,14 @@ class YahooConfig:
     variants: tuple[VariantSpec, ...]
     max_iter: int = 10
     seed: int = 2016
+    backend: str = "serial"
+    n_jobs: int | None = None
+
+    def scaled(self, **overrides) -> "YahooConfig":
+        """A copy with some fields replaced (for CLI overrides)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
 
 
 # ----------------------------------------------------------------------

@@ -121,6 +121,8 @@ def run_comparison(
     seed: int,
     absent_code: int | None = None,
     exp_id: str = "adhoc",
+    backend: str = "serial",
+    n_jobs: int | None = None,
 ) -> ComparisonResult:
     """Run every variant on ``dataset`` from identical initial modes.
 
@@ -142,6 +144,10 @@ def run_comparison(
         pipeline uses 0.
     exp_id:
         Identifier recorded in the result.
+    backend, n_jobs:
+        Engine knobs for the MH variants (the exhaustive baseline is
+        always in-process).  ``'serial'`` reproduces the paper's online
+        protocol; parallel backends run batch passes.
     """
     initial = _fixed_initial_modes(dataset.X, n_clusters, seed)
     comparison = ComparisonResult(exp_id=exp_id, dataset_info=dataset.describe())
@@ -160,6 +166,8 @@ def run_comparison(
                 max_iter=max_iter,
                 seed=seed,
                 absent_code=absent_code,
+                backend=backend,
+                n_jobs=n_jobs,
             )
             model.fit(dataset.X, initial_centroids=initial)
         assert model.labels_ is not None and model.stats_ is not None
@@ -206,6 +214,8 @@ def run_synthetic_experiment(config: SyntheticConfig) -> ComparisonResult:
         max_iter=config.max_iter,
         seed=config.seed,
         exp_id=config.exp_id,
+        backend=config.backend,
+        n_jobs=config.n_jobs,
     )
 
 
@@ -220,6 +230,8 @@ def run_yahoo_experiment(config: YahooConfig) -> ComparisonResult:
         seed=config.seed,
         absent_code=0,
         exp_id=config.exp_id,
+        backend=config.backend,
+        n_jobs=config.n_jobs,
     )
 
 

@@ -66,12 +66,18 @@ class RunStats:
     converged:
         True when the run stopped because no item moved (rather than
         hitting ``max_iter``).
+    phase_s:
+        Wall-clock seconds per engine phase (``exhaustive_assign``,
+        ``signatures``, ``index_build``, ``iterations``), populated by
+        the framework fit loop; empty for runs that predate phase
+        accounting.
     """
 
     algorithm: str = ""
     setup_s: float = 0.0
     iterations: list[IterationStats] = field(default_factory=list)
     converged: bool = False
+    phase_s: dict[str, float] = field(default_factory=dict)
 
     def record(
         self,

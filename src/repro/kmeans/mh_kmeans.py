@@ -42,8 +42,8 @@ class LSHKMeans(BaseLSHAcceleratedClustering):
         scale).
     width:
         Quantisation width for the p-stable family (ignored by SimHash).
-    seed, max_iter, update_refs, precompute_neighbours, track_cost,
-    predict_fallback:
+    seed, max_iter, update_refs, backend, n_jobs, n_shards,
+    precompute_neighbours, track_cost, predict_fallback:
         See :class:`~repro.core.framework.BaseLSHAcceleratedClustering`.
 
     Examples
@@ -64,7 +64,10 @@ class LSHKMeans(BaseLSHAcceleratedClustering):
         width: float = 4.0,
         max_iter: int = 100,
         seed: int | None = None,
-        update_refs: str = "online",
+        update_refs: str | None = None,
+        backend="serial",
+        n_jobs: int | None = None,
+        n_shards: int | None = None,
         precompute_neighbours: bool = True,
         track_cost: bool = True,
         predict_fallback: str = "full",
@@ -76,6 +79,9 @@ class LSHKMeans(BaseLSHAcceleratedClustering):
             max_iter=max_iter,
             seed=seed,
             update_refs=update_refs,
+            backend=backend,
+            n_jobs=n_jobs,
+            n_shards=n_shards,
             precompute_neighbours=precompute_neighbours,
             track_cost=track_cost,
             predict_fallback=predict_fallback,
@@ -122,6 +128,12 @@ class LSHKMeans(BaseLSHAcceleratedClustering):
             )
         return X[rng.choice(X.shape[0], self.n_clusters, replace=False)].copy()
 
+    def _prepare_signatures(self, X: np.ndarray) -> None:
+        # Both numeric hashers draw their projections lazily on first
+        # use; force that here so parallel signature chunks never race
+        # on the initialisation (and all see identical projections).
+        self._hasher.signatures(X[:1])
+
     def _signatures(self, X: np.ndarray) -> np.ndarray:
         return self._hasher.signatures(X)
 
@@ -144,6 +156,15 @@ class LSHKMeans(BaseLSHAcceleratedClustering):
     ) -> np.ndarray:
         delta = centroids - X[item][None, :]
         return np.einsum("ij,ij->i", delta, delta)
+
+    def _block_distances(
+        self, block: np.ndarray, centroid_blocks: np.ndarray
+    ) -> np.ndarray:
+        # Same contraction order over the attribute axis as the per-item
+        # einsum above, so chunked passes reproduce serial distances
+        # bit for bit.
+        delta = centroid_blocks - block[:, None, :]
+        return np.einsum("csm,csm->cs", delta, delta)
 
     def _update_centroids(
         self,

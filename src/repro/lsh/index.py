@@ -138,26 +138,68 @@ class ClusteredLSHIndex:
             )
         if len(signatures) == 0:
             raise DataValidationError("cannot build an index over zero items")
-        self._band_keys = compute_band_keys(signatures, self.bands, self.rows)
+        band_keys = compute_band_keys(signatures, self.bands, self.rows)
+        self._finalise(band_keys, assignments)
+        return self
+
+    @classmethod
+    def from_band_keys(
+        cls,
+        bands: int,
+        rows: int,
+        band_keys: np.ndarray,
+        assignments: np.ndarray,
+        precompute_neighbours: bool = True,
+    ) -> "ClusteredLSHIndex":
+        """Rebuild an index from already-computed ``(n, bands)`` keys.
+
+        Band keys fully determine the buckets and neighbour lists, so a
+        persisted model only needs to store them (not the signatures)
+        to reconstruct its index exactly — see
+        :func:`repro.data.io.save_model`.
+        """
+        band_keys = np.asarray(band_keys)
+        assignments = np.asarray(assignments)
+        if band_keys.ndim != 2 or band_keys.shape[1] != bands:
+            raise DataValidationError(
+                f"band_keys must be (n_items, {bands}), got shape "
+                f"{band_keys.shape}"
+            )
+        if len(assignments) != len(band_keys):
+            raise DataValidationError(
+                f"{len(band_keys)} key rows but {len(assignments)} assignments"
+            )
+        if len(band_keys) == 0:
+            raise DataValidationError("cannot build an index over zero items")
+        index = cls(bands, rows, precompute_neighbours=precompute_neighbours)
+        index._finalise(band_keys.astype(np.uint64, copy=False), assignments)
+        return index
+
+    def _finalise(self, band_keys: np.ndarray, assignments: np.ndarray) -> None:
+        """Common tail of :meth:`build` and :meth:`from_band_keys`."""
+        self._band_keys = band_keys
         self._assignments = assignments.astype(np.int64).copy()
         self._buckets = [
             self._bucketise(self._band_keys[:, j]) for j in range(self.bands)
         ]
         if self.precompute_neighbours:
             self._build_neighbour_lists()
-        return self
 
     @staticmethod
     def _bucketise(keys: np.ndarray) -> dict[int, np.ndarray]:
-        """Group item ids by bucket key via one argsort (no Python loop per item)."""
-        order = np.argsort(keys, kind="stable")
+        """Group item ids by bucket key via one argsort (no Python loop per item).
+
+        Bucket members are *views* into one shared order array, so a
+        band costs two allocations regardless of its bucket count.
+        """
+        order = np.argsort(keys, kind="stable").astype(np.int64, copy=False)
         sorted_keys = keys[order]
         # Boundaries where the key value changes delimit the buckets.
         boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
         starts = np.concatenate([[0], boundaries])
         ends = np.concatenate([boundaries, [len(keys)]])
         return {
-            int(sorted_keys[s]): order[s:e].astype(np.int64)
+            int(sorted_keys[s]): order[s:e]
             for s, e in zip(starts, ends)
         }
 
@@ -334,6 +376,18 @@ class ClusteredLSHIndex:
         self._check_built()
         assert self._band_keys is not None
         return len(self._band_keys)
+
+    @property
+    def band_keys(self) -> np.ndarray:
+        """The ``(n_items, bands)`` bucket-key matrix (live, do not mutate).
+
+        Together with the assignments this is sufficient to rebuild the
+        index (:meth:`from_band_keys`), which is how fitted models are
+        persisted without storing raw signatures.
+        """
+        self._check_built()
+        assert self._band_keys is not None
+        return self._band_keys
 
     def stats(self) -> IndexStats:
         """Bucket- and neighbour-level summary statistics."""

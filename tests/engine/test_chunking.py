@@ -1,0 +1,49 @@
+"""Unit tests for the engine's chunk iterators."""
+
+import pytest
+
+from repro.engine.chunking import chunk_ranges, iter_blocks
+from repro.exceptions import ConfigurationError
+
+
+class TestChunkRanges:
+    def test_covers_every_item_once_in_order(self):
+        spans = chunk_ranges(103, 7)
+        items = [i for start, stop in spans for i in range(start, stop)]
+        assert items == list(range(103))
+
+    def test_balanced_within_one(self):
+        sizes = [stop - start for start, stop in chunk_ranges(103, 7)]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(sizes) == 7
+
+    def test_no_empty_spans_when_items_scarce(self):
+        spans = chunk_ranges(3, 8)
+        assert spans == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_single_chunk(self):
+        assert chunk_ranges(10, 1) == [(0, 10)]
+
+    @pytest.mark.parametrize("n_items,n_chunks", [(-1, 2), (5, 0), (5, -3)])
+    def test_invalid_arguments(self, n_items, n_chunks):
+        with pytest.raises(ConfigurationError):
+            chunk_ranges(n_items, n_chunks)
+
+
+class TestIterBlocks:
+    def test_partitions_span(self):
+        blocks = list(iter_blocks(3, 17, 5))
+        assert blocks == [(3, 8), (8, 13), (13, 17)]
+
+    def test_block_larger_than_span(self):
+        assert list(iter_blocks(0, 4, 100)) == [(0, 4)]
+
+    def test_empty_span(self):
+        assert list(iter_blocks(5, 5, 3)) == []
+
+    def test_invalid_block(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_blocks(0, 10, 0))

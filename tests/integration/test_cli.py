@@ -78,6 +78,63 @@ class TestClusterCommand:
         assert code == 0
         assert "K-Modes" in capsys.readouterr().out
 
+    def test_phase_timings_printed(self, dataset_path, capsys):
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--bands", "8", "--rows", "2", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phases" in out
+        assert "index_build=" in out
+
+    def test_parallel_backend_run(self, dataset_path, capsys):
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--bands", "8", "--rows", "2", "--seed", "0",
+                "--backend", "thread", "--jobs", "2", "--shards", "2",
+            ]
+        )
+        assert code == 0
+        assert "backend=thread" in capsys.readouterr().out
+
+    def test_save_writes_model_and_sidecar(self, dataset_path, tmp_path, capsys):
+        target = tmp_path / "model"
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--bands", "8", "--rows", "2", "--seed", "0",
+                "--save", str(target),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "model.npz").exists()
+        assert (tmp_path / "model.json").exists()
+
+        from repro.data import load_model
+
+        assert load_model(tmp_path / "model.npz").n_clusters == 8
+
+    def test_kmodes_warns_on_ignored_engine_flags(self, dataset_path, capsys):
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--algorithm", "kmodes", "--clusters", "8", "--seed", "0",
+                "--backend", "process", "--jobs", "4",
+            ]
+        )
+        assert code == 0
+        assert "apply to mh-kmodes only" in capsys.readouterr().err
+
+    def test_backend_flag_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster", "ds.npz", "--clusters", "4", "--backend", "gpu"]
+            )
+
 
 class TestTablesCommand:
     def test_prints_both_tables(self, capsys):

@@ -9,8 +9,14 @@ from hypothesis.extra.numpy import arrays
 from repro.lsh.pstable import PStableHasher
 from repro.lsh.simhash import SimHasher
 
+# Subnormals are excluded: scaling one can underflow to (signless) zero,
+# flipping a projection's sign — a float artefact, not an LSH property.
 finite_floats = st.floats(
-    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+    min_value=-100.0,
+    max_value=100.0,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
 )
 
 vectors = arrays(
@@ -21,7 +27,10 @@ vectors = arrays(
 
 
 class TestSimHashProperties:
-    @given(X=vectors, scale=st.floats(0.001, 1000.0))
+    # Power-of-two scales keep X * scale exact in binary floating point;
+    # arbitrary scales can flip the sign of a projection that rounds to
+    # ~0, which is a float artefact rather than a SimHash defect.
+    @given(X=vectors, scale=st.integers(-10, 10).map(lambda k: 2.0**k))
     @settings(max_examples=50, deadline=None)
     def test_positive_scale_invariance(self, X, scale):
         hasher = SimHasher(16, seed=0)
