@@ -63,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for the MH engine (default: serial)",
     )
     run.add_argument(
+        "--update-refs",
+        choices=["online", "batch"],
+        default=None,
+        help=(
+            "cluster-reference update mode: 'online' is the paper's "
+            "per-item pass, 'batch' runs the vectorised pass on any "
+            "backend (default: online when serial, batch when parallel)"
+        ),
+    )
+    run.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -160,6 +170,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             max_iter=args.max_iter,
             seed=args.seed,
             absent_code=args.absent_code,
+            update_refs=args.update_refs,
             backend=args.backend,
             n_jobs=args.jobs,
             n_shards=args.shards,
@@ -170,7 +181,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"algorithm : {model.stats_.algorithm}")
     if args.algorithm == "mh-kmodes":
         jobs = args.jobs if args.jobs is not None else "auto"
-        print(f"engine    : backend={args.backend} jobs={jobs}")
+        print(
+            f"engine    : backend={args.backend} jobs={jobs} "
+            f"update_refs={model.update_refs}"
+        )
     print(f"iterations: {model.n_iter_} (converged={model.converged_})")
     print(f"setup     : {model.stats_.setup_s:.3f}s")
     if model.stats_.phase_s:

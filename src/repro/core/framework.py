@@ -17,12 +17,19 @@ The base class owns the loop itself:
    :class:`~repro.lsh.index.ClusteredLSHIndex` with the items'
    cluster references (all of this is the *setup* cost the paper
    includes in total clustering time);
-3. per iteration, per item: query the index for the candidate-cluster
-   shortlist, compute exact distances only against the shortlist, and
-   on reassignment update the item's cluster reference in place
-   (``update_refs='online'``, the paper's behaviour) or at the end of
-   the pass (``'batch'``);
+3. per iteration: compute exact distances only against each item's
+   candidate-cluster shortlist from the index, and update cluster
+   references in place (``update_refs='online'``, the paper's
+   behaviour: a per-item pass where reassignments are visible to
+   later items) or at the end of the pass (``'batch'``: a vectorised
+   pass over the index's flat neighbour CSR, identical labels on
+   every backend);
 4. recompute centroids; stop when no item moved or ``max_iter`` hits.
+
+All phases of one fit — including the per-iteration passes — run on a
+single engine fit session, so a parallel backend opens exactly one
+worker pool per fit and bulky arrays cross into workers once (see
+:mod:`repro.engine.parallel`).
 
 Shortlists of indexed items always contain the item's current cluster
 because every item collides with itself, so an iteration can never
@@ -43,6 +50,7 @@ from repro.engine import (
     ShardedClusteredLSHIndex,
     resolve_engine,
 )
+from repro.engine.parallel import best_shortlisted_centroids
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.instrumentation import RunStats, Timer
 from repro.lsh.index import ClusteredLSHIndex
@@ -66,10 +74,12 @@ class BaseLSHAcceleratedClustering(abc.ABC):
     update_refs:
         ``'online'`` (paper): an item's cluster reference is updated the
         moment it moves, so later items in the same pass see it.
-        ``'batch'``: references update at the end of each pass.
-        ``None`` (default) resolves to ``'online'`` on the serial
-        backend and ``'batch'`` on parallel backends, which merge
-        reference updates at a per-pass barrier; requesting
+        ``'batch'``: references update at the end of each pass, which
+        lets every backend — serial included — run the vectorised
+        batch pass (identical labels, far faster than the per-item
+        loop).  ``None`` (default) resolves to ``'online'`` on the
+        serial backend and ``'batch'`` on parallel backends, which
+        merge reference updates at a per-pass barrier; requesting
         ``'online'`` together with a parallel backend is an error.
     backend:
         Where the engine runs the fit phases: ``'serial'`` (default,
@@ -295,25 +305,29 @@ class BaseLSHAcceleratedClustering(abc.ABC):
 
         stats = RunStats(algorithm=self._algorithm_name())
 
-        # --- setup: one exhaustive pass + one indexing pass (paper's
-        # "initial extra step", charged to total time, not per-iteration).
-        with Timer() as setup_timer:
-            with Timer() as exhaustive_timer:
-                labels, _ = engine.exhaustive_assign(
-                    self, X, centroids, np.full(n, -1, dtype=np.int64)
-                )
-            with Timer() as signature_timer:
-                signatures = engine.compute_signatures(self, X)
-            with Timer() as index_timer:
-                index = engine.build_index(self, signatures, labels)
-            centroids = self._update_centroids(X, labels, centroids, rng)
-        stats.setup_s = setup_timer.elapsed_s
-        stats.phase_s["exhaustive_assign"] = exhaustive_timer.elapsed_s
-        stats.phase_s["signatures"] = signature_timer.elapsed_s
-        stats.phase_s["index_build"] = index_timer.elapsed_s
-
         converged = False
-        with engine.assignment_session(self, X, index) as session:
+        # One session serves every phase: parallel backends open their
+        # worker pool here, exactly once per fit.
+        with engine.fit_session(self, X) as session:
+            # --- setup: one exhaustive pass + one indexing pass (paper's
+            # "initial extra step", charged to total time, not
+            # per-iteration).  Pool spin-up is charged to setup too.
+            with Timer() as setup_timer:
+                with Timer() as exhaustive_timer:
+                    labels, _ = session.exhaustive_assign(
+                        centroids, np.full(n, -1, dtype=np.int64)
+                    )
+                with Timer() as signature_timer:
+                    signatures = session.compute_signatures()
+                with Timer() as index_timer:
+                    index = session.build_index(signatures, labels)
+                centroids = self._update_centroids(X, labels, centroids, rng)
+            stats.setup_s = setup_timer.elapsed_s + session.open_s
+            stats.phase_s["session_open"] = session.open_s
+            stats.phase_s["exhaustive_assign"] = exhaustive_timer.elapsed_s
+            stats.phase_s["signatures"] = signature_timer.elapsed_s
+            stats.phase_s["index_build"] = index_timer.elapsed_s
+
             for _ in range(self.max_iter):
                 accumulator = ShortlistAccumulator()
                 with Timer() as timer:
@@ -374,7 +388,9 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         refs = index.assignments_view()  # live view; refs[i] = c updates the index
         new_labels = labels.copy()
         working = refs if online else labels
-        groups = index.neighbour_groups()
+        csr = index.neighbour_csr() if index.precompute_neighbours else None
+        if csr is not None:
+            group_of, nbr_indptr, nbr_indices = csr
         point_distances = self._point_distances
         unique = np.unique
         argmin = np.argmin
@@ -383,9 +399,9 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         total_shortlist = 0
         n = X.shape[0]
         for i in range(n):
-            if groups is not None:
-                group_of, group_neighbours = groups
-                neighbours = group_neighbours[group_of[i]]
+            if csr is not None:
+                group = group_of[i]
+                neighbours = nbr_indices[nbr_indptr[group] : nbr_indptr[group + 1]]
             else:
                 neighbours = index.candidate_items(i)
             shortlist = unique(working[neighbours])
@@ -417,9 +433,15 @@ class BaseLSHAcceleratedClustering(abc.ABC):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign unseen items using the index (with fallback policy).
 
-        Novel items are hashed, their shortlist is looked up from the
-        trained index, and the nearest shortlisted centroid wins.  An
-        empty shortlist triggers ``predict_fallback``.
+        Novel items are hashed and their shortlists looked up from the
+        trained index in one batched query
+        (:meth:`~repro.lsh.index.BaseClusteredIndex.shortlists_for_signatures`);
+        the nearest shortlisted centroid wins, scored with the
+        vectorised ``_block_distances`` kernel over the ragged
+        shortlist block.  Rows whose shortlist is empty trigger
+        ``predict_fallback`` individually (``'full'`` scores them
+        against every centroid; ``'error'`` raises).  Row for row
+        identical to hashing and assigning each item on its own.
         """
         if self.centroids_ is None or self.index_ is None:
             raise NotFittedError("call fit before predict")
@@ -430,14 +452,34 @@ class BaseLSHAcceleratedClustering(abc.ABC):
                 f"with {self.centroids_.shape[1]}"
             )
         signatures = self._signatures(X)
+        indptr, clusters = self.index_.shortlists_for_signatures(signatures)
+        lengths = np.diff(indptr)
         out = np.empty(X.shape[0], dtype=np.int64)
-        for i in range(X.shape[0]):
-            shortlist = self.index_.candidate_clusters_for_signature(signatures[i])
-            shortlist = apply_fallback(
-                shortlist, self.n_clusters, self.predict_fallback
+
+        empty = np.flatnonzero(lengths == 0)
+        if empty.size:
+            # Resolve the policy once; 'full' yields the all-clusters
+            # shortlist shared by every empty row, 'error' raises.
+            fallback = apply_fallback(
+                np.empty(0, dtype=np.int64), self.n_clusters, self.predict_fallback
             )
-            distances = self._point_distances(X, i, self.centroids_[shortlist])
-            out[i] = int(shortlist[np.argmin(distances)])
+            labels, _ = best_shortlisted_centroids(
+                self,
+                X[empty],
+                np.tile(fallback, empty.size),
+                np.full(empty.size, len(fallback), dtype=np.int64),
+                self.centroids_,
+            )
+            out[empty] = labels
+
+        filled = np.flatnonzero(lengths > 0)
+        if filled.size:
+            # ``clusters`` holds only the filled rows' entries (empty
+            # rows contribute zero-length slices), already row-ordered.
+            labels, _ = best_shortlisted_centroids(
+                self, X[filled], clusters, lengths[filled], self.centroids_
+            )
+            out[filled] = labels
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -124,11 +124,12 @@ class StreamingMHKModes:
         ``'error'`` — raise instead.
     max_iter:
         Iteration cap of the bootstrap fit.
-    backend, n_jobs, n_shards:
+    update_refs, backend, n_jobs, n_shards:
         Engine knobs forwarded to the bootstrap fit (see
         :class:`~repro.core.framework.BaseLSHAcceleratedClustering`).
-        With a parallel backend the bootstrap runs chunked batch
-        passes; with ``n_shards > 1`` the insertable index is a
+        With ``update_refs='batch'`` the bootstrap runs the engine's
+        vectorised batch passes on any backend; with ``n_shards > 1``
+        the insertable index is a
         :class:`~repro.engine.ShardedClusteredLSHIndex` and streamed
         arrivals are hashed into the shards round-robin.
 
@@ -164,6 +165,7 @@ class StreamingMHKModes:
         refresh_interval: int = 200,
         stream_fallback: str = "full",
         max_iter: int = 100,
+        update_refs: str | None = None,
         backend="serial",
         n_jobs: int | None = None,
         n_shards: int | None = None,
@@ -185,6 +187,7 @@ class StreamingMHKModes:
         self.refresh_interval = int(refresh_interval)
         self.stream_fallback = stream_fallback
         self.max_iter = int(max_iter)
+        self.update_refs = update_refs
         self.backend = backend
         self.n_jobs = n_jobs
         self.n_shards = n_shards
@@ -212,6 +215,7 @@ class StreamingMHKModes:
             absent_code=self.absent_code,
             domain_size=self.domain_size,
             max_iter=self.max_iter,
+            update_refs=self.update_refs,
             backend=self.backend,
             n_jobs=self.n_jobs,
             n_shards=self.n_shards,

@@ -9,10 +9,15 @@ Fitted estimators round-trip through an ``.npz`` (centroids, labels,
 index band keys) plus a ``.json`` sidecar (constructor parameters —
 hash seeds, banding, engine knobs — and scalar fitted state).  The
 clustered LSH index is *not* serialised bucket by bucket: band keys
-fully determine the buckets, so :func:`load_model` rebuilds the index
-with :meth:`~repro.lsh.index.ClusteredLSHIndex.from_band_keys` and the
-loaded model predicts exactly like the original — including sharded
-fits, which can be saved on one machine and reloaded on another.
+fully determine the buckets *and* the flat CSR neighbour storage, so
+:func:`load_model` rebuilds the index with
+:meth:`~repro.lsh.index.ClusteredLSHIndex.from_band_keys` and the
+loaded model predicts exactly like the original — same shortlists,
+same CSR fast paths — including sharded fits, which can be saved on
+one machine and reloaded on another.  Streamed inserts are persisted
+too: the band-key/assignment views cover every inserted item, and the
+archive stores compact copies, never the index's over-allocated
+growth buffers.
 """
 
 from __future__ import annotations
@@ -208,7 +213,9 @@ def save_model(model, path: str | Path) -> Path:
     arrays = {"centroids": centroids, "labels": labels}
     index = getattr(model, "index_", None)
     if index is not None:
-        arrays["index_band_keys"] = index.band_keys
+        # band_keys is a live view into the index's doubling buffer;
+        # copy so mutating the staged array can never corrupt the index.
+        arrays["index_band_keys"] = index.band_keys.copy()
         arrays["index_assignments"] = index.assignments
     np.savez_compressed(path, **arrays)
 

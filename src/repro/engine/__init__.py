@@ -6,19 +6,22 @@ assignment — across workers, behind one seam:
 
 * :mod:`repro.engine.backends` — ``serial`` / ``thread`` / ``process``
   :class:`ExecutionBackend` strategies with reusable worker sessions;
+* :mod:`repro.engine.shared` — :class:`SharedArray`, zero-copy /
+  shared-memory transport for bulky read-only arrays;
 * :mod:`repro.engine.chunking` — contiguous chunk iterators shared by
   every phase;
 * :mod:`repro.engine.sharded_index` —
   :class:`ShardedClusteredLSHIndex`, per-shard bucket tables whose
   union reproduces the global index exactly (shard-count invariant);
-* :mod:`repro.engine.parallel` — :class:`ClusteringEngine`, the phase
-  executor the framework delegates to, including the vectorised
-  chunked batch assignment pass.
+* :mod:`repro.engine.parallel` — :class:`ClusteringEngine`, whose
+  fit-lifetime session runs every phase — including the vectorised
+  batch assignment pass — on one worker pool per fit.
 
 Estimators expose it as ``backend=`` / ``n_jobs=`` / ``n_shards=``
 parameters; the default ``backend='serial'`` reproduces the paper's
-online semantics byte for byte, while the parallel backends run batch
-passes that are identical across backends, chunkings and shard counts.
+online semantics byte for byte, while batch updates run a vectorised
+pass whose labels are identical across backends, chunkings and shard
+counts.
 """
 
 from repro.engine.backends import (
@@ -31,6 +34,7 @@ from repro.engine.backends import (
 )
 from repro.engine.chunking import chunk_ranges, iter_blocks
 from repro.engine.parallel import ClusteringEngine, resolve_engine
+from repro.engine.shared import SharedArray, resolve_array
 from repro.engine.sharded_index import ShardedClusteredLSHIndex
 
 __all__ = [
@@ -44,5 +48,7 @@ __all__ = [
     "iter_blocks",
     "ClusteringEngine",
     "resolve_engine",
+    "SharedArray",
+    "resolve_array",
     "ShardedClusteredLSHIndex",
 ]

@@ -5,8 +5,8 @@ module-level *kernel* ``fn(static, dynamic, task)`` is mapped over a
 list of small tasks (usually item spans), where
 
 * ``static`` is bulky read-only state fixed for the lifetime of a
-  :class:`BackendSession` (the item matrix, neighbour lists, the
-  model's kernels);
+  :class:`BackendSession` (the item matrix and the model's kernels —
+  the engine opens **one** session per fit and it serves every phase);
 * ``dynamic`` is small per-call state (current centroids and labels);
 * ``task`` is the unit of work (a ``(start, stop)`` span, a shard id).
 
@@ -24,8 +24,10 @@ Backends differ only in *where* the kernel runs:
 ``process``
     A :mod:`multiprocessing` pool.  Where the platform supports the
     ``fork`` start method (Linux), workers inherit ``static`` through
-    copy-on-write memory and nothing bulky is ever pickled; elsewhere
-    ``static`` is shipped once per worker at session start.  Only
+    copy-on-write memory and nothing bulky is ever pickled; under
+    ``spawn`` the engine routes bulky arrays through
+    :class:`~repro.engine.shared.SharedArray` shared-memory segments,
+    so the once-per-worker initializer pickle stays small.  Only
     ``dynamic`` and the small partial results cross the pipe per call.
 
 Kernels must be module-level functions and their arguments picklable so
@@ -41,6 +43,7 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
+from repro.engine.shared import SharedArray, ensure_cleanup_tracker
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -98,15 +101,40 @@ class ExecutionBackend(abc.ABC):
         if n_jobs is not None and n_jobs <= 0:
             raise ConfigurationError(f"n_jobs must be positive, got {n_jobs}")
         self.n_jobs = int(n_jobs) if n_jobs is not None else default_n_jobs()
+        #: Sessions opened over this backend's lifetime.  The engine's
+        #: contract is *one* session per fit (pools are expensive); unit
+        #: tests assert it through this counter.
+        self.sessions_opened = 0
 
     @property
     def is_parallel(self) -> bool:
         """Whether this backend runs tasks outside the calling thread."""
         return self.name != "serial"
 
-    @abc.abstractmethod
+    @property
+    def inherits_static(self) -> bool:
+        """Whether workers see session ``static`` without any transport.
+
+        True for same-address-space backends (serial, thread) and for
+        ``fork`` process pools (copy-on-write); False when the static
+        payload must be shipped (``spawn``), in which case the engine
+        routes bulky arrays through :meth:`share_array` instead.
+        """
+        return True
+
+    def share_array(self, array: Any) -> SharedArray:
+        """Wrap a bulky read-only array for transport to this backend's
+        workers (zero-copy here; shared memory for process pools)."""
+        return SharedArray.wrap(array)
+
     def session(self, static: Any = None) -> BackendSession:
         """Open a worker session holding ``static`` read-only state."""
+        self.sessions_opened += 1
+        return self._open_session(static)
+
+    @abc.abstractmethod
+    def _open_session(self, static: Any) -> BackendSession:
+        """Create the concrete session (workers spin up here)."""
 
     def run(
         self, fn: Kernel, tasks: list, static: Any = None, dynamic: Any = None
@@ -140,7 +168,7 @@ class SerialBackend(ExecutionBackend):
     def __init__(self, n_jobs: int | None = None):
         super().__init__(1 if n_jobs is None else n_jobs)
 
-    def session(self, static: Any = None) -> BackendSession:
+    def _open_session(self, static: Any = None) -> BackendSession:
         return _SerialSession(static)
 
 
@@ -174,7 +202,7 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def session(self, static: Any = None) -> BackendSession:
+    def _open_session(self, static: Any = None) -> BackendSession:
         return _ThreadSession(static, self.n_jobs)
 
 
@@ -199,15 +227,15 @@ def _invoke_in_process(call: tuple) -> Any:
 
 
 class _ProcessSession(BackendSession):
-    def __init__(self, static: Any, n_jobs: int):
-        # fork keeps ``static`` out of the pickle pipe entirely; the
-        # spawn fallback ships it once per worker via the initializer.
-        method = (
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else None
-        )
-        context = multiprocessing.get_context(method)
+    def __init__(self, static: Any, n_jobs: int, start_method: str | None = None):
+        # fork keeps ``static`` out of the pickle pipe entirely
+        # (copy-on-write); under spawn the initializer ships it once per
+        # worker — the engine routes bulky arrays through shared memory
+        # so only small objects ever cross that pickle.  Workers must
+        # inherit the parent's (not their own) resource tracker for the
+        # shared-memory bookkeeping to balance.
+        ensure_cleanup_tracker()
+        context = multiprocessing.get_context(start_method)
         self._pool = context.Pool(
             processes=n_jobs,
             initializer=_init_process_worker,
@@ -228,12 +256,44 @@ class _ProcessSession(BackendSession):
 
 
 class ProcessBackend(ExecutionBackend):
-    """Run tasks on a pool of worker processes."""
+    """Run tasks on a pool of worker processes.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count (default: one per CPU).
+    start_method:
+        Multiprocessing start method.  Defaults to ``'fork'`` where the
+        platform supports it (workers inherit session state through
+        copy-on-write) and the platform default elsewhere; pass
+        ``'spawn'`` explicitly to exercise the shared-memory transport
+        on any platform.
+    """
 
     name = "process"
 
-    def session(self, static: Any = None) -> BackendSession:
-        return _ProcessSession(static, self.n_jobs)
+    def __init__(self, n_jobs: int | None = None, start_method: str | None = None):
+        super().__init__(n_jobs)
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else available[0]
+        elif start_method not in available:
+            raise ConfigurationError(
+                f"start_method must be one of {available}, got {start_method!r}"
+            )
+        self.start_method = start_method
+
+    @property
+    def inherits_static(self) -> bool:
+        return self.start_method == "fork"
+
+    def share_array(self, array: Any) -> SharedArray:
+        # Process workers live in other address spaces: hand arrays over
+        # through shared memory so they never ride the task pickles.
+        return SharedArray.via_shm(array)
+
+    def _open_session(self, static: Any = None) -> BackendSession:
+        return _ProcessSession(static, self.n_jobs, self.start_method)
 
 
 # ----------------------------------------------------------------------

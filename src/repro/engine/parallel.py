@@ -1,49 +1,54 @@
-"""The clustering engine: every fit phase, chunked over one seam.
+"""The clustering engine: every fit phase, one worker session.
 
 :class:`ClusteringEngine` is the object
 :class:`~repro.core.framework.BaseLSHAcceleratedClustering` delegates
-its phases to.  Each phase is a map of a module-level kernel over
-contiguous item spans:
+its phases to.  A fit opens **one** :class:`EngineFitSession` (and,
+on parallel backends, exactly one worker pool) that lives from the
+exhaustive setup pass to the last iteration:
 
 * **exhaustive assignment** (setup) — row chunks through the model's
   own ``_exhaustive_assign`` kernel, merged by concatenation;
 * **signatures** — row chunks through ``_signatures`` after the model
-  has frozen any data-dependent encoding state (``_prepare_signatures``);
-* **index build** — delegated to
-  :class:`~repro.engine.sharded_index.ShardedClusteredLSHIndex`, one
-  task per shard;
-* **assignment pass** — the per-iteration hot loop.
+  has frozen any data-dependent encoding state (``_prepare_signatures``
+  runs at session open, *before* process workers snapshot the model);
+* **index build** — one bucket-run task per shard, assembled into a
+  :class:`~repro.engine.sharded_index.ShardedClusteredLSHIndex`;
+* **assignment passes** — the per-iteration hot loop.
 
-Semantics: the serial backend runs the paper's exact *online* per-item
-pass (``update_refs='online'`` reassignments are visible to later items
-in the same pass).  Parallel backends run **batch** passes: every chunk
-scores its items against the labels frozen at the start of the pass,
-and move counts, shortlist statistics and cluster references merge at a
-per-pass barrier.  A batch pass partitions into chunks without changing
-any per-item decision, so labels are identical for any chunking, any
-shard count, and any backend — the backend-equivalence tests assert
-exactly this.
+Bulky state crosses into workers exactly once.  The item matrix rides
+the session's static payload (copy-on-write under ``fork``, a
+:mod:`multiprocessing.shared_memory` segment under ``spawn``); state
+created *after* the pool opened — band keys, the flattened neighbour
+CSR — always travels as shared-memory handles inside the small
+per-task ``dynamic`` tuples (see :mod:`repro.engine.shared`).
 
-The parallel pass is also *vectorised*: per chunk, the ragged
-shortlists are built with one segmented ``np.unique`` over
-``item * k + label`` keys, padded into a dense block, and scored with
-the model's ``_block_distances`` kernel instead of one tiny distance
-call per item.  Tie-breaking replicates the serial rule (keep the
-current cluster whenever it is at least as close as the best
-candidate; first minimum wins among the sorted shortlist).
+Semantics: with ``update_refs='online'`` the serial backend runs the
+paper's exact per-item pass (reassignments visible to later items in
+the same pass).  With ``update_refs='batch'`` **every** backend —
+serial included — runs the vectorised batch pass: per chunk, the
+ragged shortlists are built with one segmented ``np.unique`` over
+``group * k + label`` keys off the index's group-level neighbour CSR
+(items with identical band keys share one neighbour list *and* one
+shortlist), padded into a dense block, and scored with the model's
+``_block_distances`` kernel.  Tie-breaking replicates the per-item rule (keep the current
+cluster whenever it is at least as close as the best candidate; first
+minimum wins among the sorted shortlist), so a batch pass partitions
+into chunks without changing any per-item decision — labels are
+identical for any chunking, any shard count, and any backend, which
+the backend-equivalence tests assert exactly.
 """
 
 from __future__ import annotations
-
-from contextlib import contextmanager
-from typing import Any, Iterator
 
 import numpy as np
 
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.chunking import chunk_ranges, iter_blocks
-from repro.engine.sharded_index import ShardedClusteredLSHIndex
+from repro.engine.shared import SharedArray, resolve_array
+from repro.engine.sharded_index import ShardedClusteredLSHIndex, _build_shard_tables
 from repro.exceptions import ConfigurationError
+from repro.instrumentation import Timer
+from repro.lsh.bands import compute_band_keys
 from repro.lsh.index import ClusteredLSHIndex
 
 __all__ = ["ClusteringEngine", "resolve_engine"]
@@ -67,7 +72,8 @@ def _exhaustive_chunk(
     static: tuple, dynamic: tuple, span: tuple[int, int]
 ) -> np.ndarray:
     """Exhaustively assign one row span (labels chunk only)."""
-    model, X = static
+    model, x_ref = static
+    X = resolve_array(x_ref)
     (centroids, labels) = dynamic
     start, stop = span
     chunk_labels, _ = model._exhaustive_assign(
@@ -78,9 +84,57 @@ def _exhaustive_chunk(
 
 def _signature_chunk(static: tuple, dynamic: None, span: tuple[int, int]) -> np.ndarray:
     """Signatures of one row span (encoding state already frozen)."""
-    model, X = static
+    model, x_ref = static
+    X = resolve_array(x_ref)
     start, stop = span
     return model._signatures(X[start:stop])
+
+
+def best_shortlisted_centroids(
+    model,
+    block: np.ndarray,
+    candidates: np.ndarray,
+    sizes: np.ndarray,
+    centroids: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-minimum centroid per row over ragged candidate lists.
+
+    ``candidates`` concatenates each row's (non-empty, sorted) centroid
+    shortlist; ``sizes`` holds the per-row lengths.  The ragged lists
+    are padded into a dense ``(rows, smax)`` block, scored with the
+    model's vectorised ``_block_distances`` kernel in memory-capped row
+    slices, and reduced with a masked argmin.  Because every shortlist
+    is sorted, the first minimum is the smallest-id centroid among the
+    ties — exactly what a per-row ``np.argmin`` over the same shortlist
+    would pick.
+
+    Returns ``(best_label, best_distance)`` per row.
+    """
+    count, m = block.shape
+    smax = int(sizes.max())
+    offsets = np.zeros(count, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=offsets[1:])
+    row_ids = np.repeat(np.arange(count, dtype=np.int64), sizes)
+    positions = np.arange(len(candidates), dtype=np.int64) - np.repeat(offsets, sizes)
+    padded = np.zeros((count, smax), dtype=np.int64)
+    valid = np.zeros((count, smax), dtype=bool)
+    padded[row_ids, positions] = candidates
+    valid[row_ids, positions] = True
+
+    best_label = np.empty(count, dtype=np.int64)
+    best_distance = np.empty(count, dtype=np.float64)
+    rows_at_once = max(1, min(count, _BLOCK_ELEMENT_BUDGET // max(1, smax * m)))
+    for r0, r1 in iter_blocks(0, count, rows_at_once):
+        distances = np.asarray(
+            model._block_distances(block[r0:r1], centroids[padded[r0:r1]]),
+            dtype=np.float64,
+        )
+        distances[~valid[r0:r1]] = np.inf
+        rows = np.arange(r1 - r0)
+        best_pos = np.argmin(distances, axis=1)
+        best_distance[r0:r1] = distances[rows, best_pos]
+        best_label[r0:r1] = padded[r0:r1][rows, best_pos]
+    return best_label, best_distance
 
 
 def _assignment_chunk(
@@ -91,99 +145,268 @@ def _assignment_chunk(
     Returns ``(new_labels_chunk, moves, shortlist_total, shortlist_max)``;
     the session merges chunks in task order.
     """
-    model, X, indptr, indices = static
-    centroids, labels = dynamic
+    model, x_ref = static
+    X = resolve_array(x_ref)
+    centroids, labels, (group_of_ref, indptr_ref, indices_ref) = dynamic
+    group_of = resolve_array(group_of_ref)
+    group_indptr = resolve_array(indptr_ref)
+    group_indices = resolve_array(indices_ref)
     start, stop = span
     k = int(model.n_clusters)
-    m = X.shape[1]
+
+    # --- group shortlists, once per chunk.  Items with identical
+    # band-key rows share one neighbour list, and labels are frozen for
+    # the whole pass, so their shortlists are identical too: the
+    # segmented ``np.unique`` runs over the chunk's *distinct* groups.
+    # Keys ``group * k + label`` sort by group first, then ascending
+    # label, reproducing each item's per-item np.unique exactly — and
+    # duplicate-heavy data (many identical rows, one giant group) costs
+    # O(one neighbour list), not O(items × list).
+    span_groups = group_of[start:stop]
+    chunk_groups, local_group = np.unique(span_groups, return_inverse=True)
+    lengths = group_indptr[chunk_groups + 1] - group_indptr[chunk_groups]
+    total = int(lengths.sum())
+    flat_starts = np.zeros(len(chunk_groups), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=flat_starts[1:])
+    bases = np.repeat(group_indptr[chunk_groups], lengths)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(flat_starts, lengths)
+    members = group_indices[bases + offsets]
+    owner = np.repeat(np.arange(len(chunk_groups), dtype=np.int64), lengths)
+    uniq = np.unique(owner * k + labels[members])
+    u_owner = uniq // k
+    u_label = uniq - u_owner * k
+    group_sizes = np.bincount(u_owner, minlength=len(chunk_groups))
+    group_starts = np.zeros(len(chunk_groups), dtype=np.int64)
+    np.cumsum(group_sizes[:-1], out=group_starts[1:])
+
     out = np.empty(stop - start, dtype=np.int64)
     moves = 0
     shortlist_total = 0
     shortlist_max = 0
     for lo, hi in iter_blocks(start, stop, _BLOCK_ITEMS):
-        count = hi - lo
-        # --- segmented shortlist build: one np.unique over the whole
-        # block.  Keys ``local_item * k + label`` sort by item first,
-        # then ascending label, reproducing per-item np.unique exactly.
-        flat = indices[indptr[lo] : indptr[hi]]
-        lengths = indptr[lo + 1 : hi + 1] - indptr[lo:hi]
-        local = np.repeat(np.arange(count, dtype=np.int64), lengths)
-        uniq = np.unique(local * k + labels[flat])
-        u_item = uniq // k
-        u_label = uniq - u_item * k
-        sizes = np.bincount(u_item, minlength=count)
-        smax = int(sizes.max())
-        offsets = np.concatenate([[0], np.cumsum(sizes[:-1])])
-        positions = np.arange(len(uniq)) - offsets[u_item]
-        padded = np.zeros((count, smax), dtype=np.int64)
-        valid = np.zeros((count, smax), dtype=bool)
-        padded[u_item, positions] = u_label
-        valid[u_item, positions] = True
+        block_groups = local_group[lo - start : hi - start]
+        sizes = group_sizes[block_groups]
+        # gather every item's (sorted) shortlist from its group's run
+        flat = int(sizes.sum())
+        row_starts = np.zeros(hi - lo, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=row_starts[1:])
+        candidate_offsets = (
+            np.arange(flat, dtype=np.int64) - np.repeat(row_starts, sizes)
+        )
+        candidates = u_label[
+            np.repeat(group_starts[block_groups], sizes) + candidate_offsets
+        ]
 
         block = X[lo:hi]
         current = labels[lo:hi]
         current_distance = model._block_distances(
             block, centroids[current[:, None]]
         )[:, 0]
-        best_label = np.empty(count, dtype=np.int64)
-        best_distance = np.empty(count, dtype=np.float64)
-        rows_at_once = max(1, min(count, _BLOCK_ELEMENT_BUDGET // max(1, smax * m)))
-        for r0, r1 in iter_blocks(0, count, rows_at_once):
-            distances = np.asarray(
-                model._block_distances(block[r0:r1], centroids[padded[r0:r1]]),
-                dtype=np.float64,
-            )
-            distances[~valid[r0:r1]] = np.inf
-            rows = np.arange(r1 - r0)
-            best_pos = np.argmin(distances, axis=1)
-            best_distance[r0:r1] = distances[rows, best_pos]
-            best_label[r0:r1] = padded[r0:r1][rows, best_pos]
+        best_label, best_distance = best_shortlisted_centroids(
+            model, block, candidates, sizes, centroids
+        )
         keep = current_distance <= best_distance
         out[lo - start : hi - start] = np.where(keep, current, best_label)
         moves += int(np.count_nonzero(~keep))
         shortlist_total += int(sizes.sum())
-        shortlist_max = max(shortlist_max, smax)
+        shortlist_max = max(shortlist_max, int(sizes.max()))
     return out, moves, shortlist_total, shortlist_max
 
 
 # ----------------------------------------------------------------------
-# assignment sessions
+# neighbour CSR expansion
 # ----------------------------------------------------------------------
 
 
-class _SerialAssignmentSession:
-    """Runs the paper's per-item pass (online or batch) unchanged."""
+def _pass_neighbour_csr(
+    index: AnyIndex, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(group_of, indptr, indices)`` CSR the batch kernels walk.
 
-    def __init__(self, model, X: np.ndarray, index: AnyIndex):
-        self._model = model
-        self._X = X
-        self._index = index
+    Precomputed neighbours come straight from the index's group-level
+    storage (:meth:`~repro.lsh.index.BaseClusteredIndex.neighbour_csr`)
+    — zero copies, and the grouping's O(n) guarantee on
+    duplicate-heavy data carries into the batch pass.  Without
+    precomputation the lists are materialised once per fit with
+    identity groups.
+    """
+    csr = index.neighbour_csr() if index.precompute_neighbours else None
+    if csr is not None:
+        return csr
+    per_item = [index.candidate_items(i) for i in range(n)]
+    lengths = np.fromiter((len(nb) for nb in per_item), dtype=np.int64, count=n)
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    indices = np.concatenate(per_item) if n else np.empty(0, dtype=np.int64)
+    return np.arange(n, dtype=np.int64), indptr, indices
 
-    def run_pass(self, centroids, labels, accumulator):
-        return self._model._shortlist_pass(
-            self._X, centroids, labels, self._index, accumulator
-        )
+
+# ----------------------------------------------------------------------
+# fit sessions
+# ----------------------------------------------------------------------
 
 
-class _ParallelAssignmentSession:
-    """Chunked batch passes over a live backend session.
+class _SerialFitSession:
+    """In-process fit session: the model's own kernels, zero overhead.
 
-    The per-item neighbour lists are flattened once into a CSR pair at
-    session open (they are static — buckets never change after build),
-    so the per-pass work inside workers is pure array slicing.
+    The assignment loop honours ``update_refs``: ``'online'`` runs the
+    paper's per-item pass unchanged; ``'batch'`` runs the vectorised
+    chunk kernel on the full span (identical labels, far fewer Python
+    dispatches).  Tests can pin ``model._force_per_item_pass = True``
+    to keep the per-item batch pass as an equivalence reference.
     """
 
-    def __init__(self, model, X, index: AnyIndex, backend: ExecutionBackend):
-        self._index = index
-        self._n = X.shape[0]
-        self._n_tasks = backend.n_jobs
-        indptr, indices = _neighbour_csr(index, self._n)
-        self._session = backend.session((model, X, indptr, indices))
+    #: Pool spin-up cost; zero by construction for the serial session.
+    open_s = 0.0
 
-    def run_pass(self, centroids, labels, accumulator):
-        spans = chunk_ranges(self._n, self._n_tasks)
+    def __init__(self, engine: "ClusteringEngine", model, X: np.ndarray):
+        self._engine = engine
+        self._model = model
+        self._X = X
+        self._index: AnyIndex | None = None
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def __enter__(self) -> "_SerialFitSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def exhaustive_assign(
+        self, centroids: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        return self._model._exhaustive_assign(self._X, centroids, labels)
+
+    def compute_signatures(self) -> np.ndarray:
+        return self._model._signatures(self._X)
+
+    def build_index(self, signatures: np.ndarray, labels: np.ndarray) -> AnyIndex:
+        self._index = self._engine.build_index(self._model, signatures, labels)
+        return self._index
+
+    def run_pass(self, centroids, labels, accumulator) -> tuple[np.ndarray, int]:
+        model = self._model
+        assert self._index is not None, "build_index must run before passes"
+        if model.update_refs == "online" or getattr(
+            model, "_force_per_item_pass", False
+        ):
+            return model._shortlist_pass(
+                self._X, centroids, labels, self._index, accumulator
+            )
+        if self._csr is None:
+            self._csr = _pass_neighbour_csr(self._index, self._X.shape[0])
+        n = self._X.shape[0]
+        out, moves, total, smax = _assignment_chunk(
+            (model, self._X), (centroids, labels, self._csr), (0, n)
+        )
+        accumulator.add_many(total, n, smax)
+        self._index.set_assignments(out)
+        return out, moves
+
+    def close(self) -> None:
+        pass
+
+
+class _ParallelFitSession:
+    """One worker pool serving every phase of one fit.
+
+    Opening the session spins up the backend's workers exactly once
+    (``open_s`` records the cost); the item matrix is pinned as static
+    session state, and everything computed later — band keys, the
+    per-item neighbour CSR — reaches the workers through
+    :class:`~repro.engine.shared.SharedArray` handles riding the small
+    per-task ``dynamic`` tuples.
+    """
+
+    def __init__(self, engine: "ClusteringEngine", model, X: np.ndarray):
+        self._engine = engine
+        self._model = model
+        self._X = X
+        self._n = X.shape[0]
+        backend = engine.backend
+        self._backend = backend
+        # Freeze data-dependent encoding state (e.g. the inferred token
+        # domain) on the FULL matrix before workers snapshot the model,
+        # so a chunk's local statistics can never change the encoding.
+        model._prepare_signatures(X)
+        self._handles: list[SharedArray] = []
+        if backend.inherits_static:
+            x_ref = SharedArray.wrap(X)
+        else:
+            # spawn workers must not receive the matrix through the
+            # initializer pickle; hand it over in shared memory.
+            x_ref = self._share(X)
+        try:
+            with Timer() as open_timer:
+                self._session = backend.session((model, x_ref))
+        except BaseException:
+            # no session means no close() will ever run; unlink the
+            # matrix segment here rather than leak it for the process
+            # lifetime
+            for handle in self._handles:
+                handle.release()
+            raise
+        self.open_s = open_timer.elapsed_s
+        self._index: AnyIndex | None = None
+        self._csr_refs: tuple[SharedArray, SharedArray, SharedArray] | None = None
+
+    def __enter__(self) -> "_ParallelFitSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _share(self, array: np.ndarray) -> SharedArray:
+        handle = self._backend.share_array(array)
+        self._handles.append(handle)
+        return handle
+
+    def exhaustive_assign(
+        self, centroids: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        spans = chunk_ranges(self._n, self._backend.n_jobs)
+        chunks = self._session.run(
+            _exhaustive_chunk, spans, dynamic=(centroids, labels)
+        )
+        new_labels = np.concatenate(chunks)
+        moves = int(np.count_nonzero(new_labels != labels))
+        return new_labels, moves
+
+    def compute_signatures(self) -> np.ndarray:
+        spans = chunk_ranges(self._n, self._backend.n_jobs)
+        return np.concatenate(self._session.run(_signature_chunk, spans))
+
+    def build_index(self, signatures: np.ndarray, labels: np.ndarray) -> AnyIndex:
+        model = self._model
+        shards = self._engine.resolved_shards()
+        band_keys = compute_band_keys(signatures, model.bands, model.rows)
+        keys_ref = self._share(band_keys)
+        spans = chunk_ranges(self._n, shards)
+        runs = self._session.run(
+            _build_shard_tables, spans, dynamic=(keys_ref, model.bands)
+        )
+        self._index = ShardedClusteredLSHIndex.from_shard_runs(
+            model.bands,
+            model.rows,
+            band_keys,
+            labels,
+            runs,
+            n_shards=shards,
+            precompute_neighbours=model.precompute_neighbours,
+        )
+        return self._index
+
+    def run_pass(self, centroids, labels, accumulator) -> tuple[np.ndarray, int]:
+        assert self._index is not None, "build_index must run before passes"
+        if self._csr_refs is None:
+            group_of, indptr, indices = _pass_neighbour_csr(self._index, self._n)
+            self._csr_refs = (
+                self._share(group_of),
+                self._share(indptr),
+                self._share(indices),
+            )
+        spans = chunk_ranges(self._n, self._backend.n_jobs)
         results = self._session.run(
-            _assignment_chunk, spans, dynamic=(centroids, labels)
+            _assignment_chunk, spans, dynamic=(centroids, labels, self._csr_refs)
         )
         new_labels = np.concatenate([chunk for chunk, _, _, _ in results])
         moves = sum(chunk_moves for _, chunk_moves, _, _ in results)
@@ -197,20 +420,12 @@ class _ParallelAssignmentSession:
 
     def close(self) -> None:
         self._session.close()
+        for handle in self._handles:
+            handle.release()
+        self._handles = []
 
 
-def _neighbour_csr(index: AnyIndex, n: int) -> tuple[np.ndarray, np.ndarray]:
-    """Flatten per-item neighbour lists into ``(indptr, indices)``."""
-    groups = index.neighbour_groups()
-    if groups is not None:
-        group_of, group_neighbours = groups
-        per_item = [group_neighbours[g] for g in group_of]
-    else:
-        per_item = [index.candidate_items(i) for i in range(n)]
-    lengths = np.fromiter((len(nb) for nb in per_item), dtype=np.int64, count=n)
-    indptr = np.concatenate([[0], np.cumsum(lengths)])
-    indices = np.concatenate(per_item) if n else np.empty(0, dtype=np.int64)
-    return indptr, indices
+EngineFitSession = _SerialFitSession | _ParallelFitSession
 
 
 # ----------------------------------------------------------------------
@@ -246,36 +461,18 @@ class ClusteringEngine:
             return self.n_shards
         return self.backend.n_jobs if self.is_parallel else 1
 
-    # -- setup phases ---------------------------------------------------
+    def fit_session(self, model, X: np.ndarray) -> EngineFitSession:
+        """Open the one session serving every phase of this fit.
 
-    def exhaustive_assign(
-        self, model, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
-    ) -> tuple[np.ndarray, int]:
-        """The one-off exact pass, chunked by rows on parallel backends."""
+        Use as a context manager; on parallel backends the worker pool
+        (and any shared-memory segments) lives exactly as long as the
+        session.
+        """
         if not self.is_parallel:
-            return model._exhaustive_assign(X, centroids, labels)
-        spans = chunk_ranges(X.shape[0], self.backend.n_jobs)
-        chunks = self.backend.run(
-            _exhaustive_chunk,
-            spans,
-            static=(model, X),
-            dynamic=(centroids, labels),
-        )
-        new_labels = np.concatenate(chunks)
-        moves = int(np.count_nonzero(new_labels != labels))
-        return new_labels, moves
+            return _SerialFitSession(self, model, X)
+        return _ParallelFitSession(self, model, X)
 
-    def compute_signatures(self, model, X: np.ndarray) -> np.ndarray:
-        """Hash every item once, chunked by rows on parallel backends."""
-        if not self.is_parallel:
-            return model._signatures(X)
-        # Freeze data-dependent encoding state (e.g. the inferred token
-        # domain) on the FULL matrix before any chunk is hashed, so a
-        # chunk's local maximum can never change the encoding.
-        model._prepare_signatures(X)
-        spans = chunk_ranges(X.shape[0], self.backend.n_jobs)
-        chunks = self.backend.run(_signature_chunk, spans, static=(model, X))
-        return np.concatenate(chunks)
+    # -- standalone index construction (serial helpers) -----------------
 
     def build_index(
         self, model, signatures: np.ndarray, labels: np.ndarray
@@ -321,22 +518,6 @@ class ClusteringEngine:
             precompute_neighbours=model.precompute_neighbours,
             backend=self.backend,
         )
-
-    # -- iteration phase ------------------------------------------------
-
-    @contextmanager
-    def assignment_session(
-        self, model, X: np.ndarray, index: AnyIndex
-    ) -> Iterator[Any]:
-        """Session object whose ``run_pass`` executes one assignment pass."""
-        if not self.is_parallel:
-            yield _SerialAssignmentSession(model, X, index)
-            return
-        session = _ParallelAssignmentSession(model, X, index, self.backend)
-        try:
-            yield session
-        finally:
-            session.close()
 
 
 def resolve_engine(

@@ -7,17 +7,20 @@ pure storage decision:
 
 * **build** parallelises — each shard bucketises only its own slice of
   the band-key matrix, so shard tables build independently (one task
-  per shard on any :class:`~repro.engine.backends.ExecutionBackend`);
+  per shard on any :class:`~repro.engine.backends.ExecutionBackend`,
+  or on an already-open engine fit session via
+  :meth:`ShardedClusteredLSHIndex.from_shard_runs`);
 * **queries stay exact** — an item's candidate set is the union of its
   bucket members *across all shards*, which equals the global bucket
   of :class:`~repro.lsh.index.ClusteredLSHIndex` element for element.
   Results are therefore invariant to the shard count (asserted by the
   shard-invariance tests).
 
-Cluster references live in one shared assignment array exactly as in
-the unsharded index, so the O(1) reference update of Algorithm 2 and
-the live :meth:`assignments_view` fast path carry over unchanged, and
-the serial fitting loop runs against either index type.
+Everything above the table layout — neighbour CSR storage, queries,
+the O(1) reference update of Algorithm 2, the live
+``assignments_view`` fast path, amortised insertion — is inherited
+from :class:`~repro.lsh.index.BaseClusteredIndex`, shared verbatim
+with the unsharded index so the two surfaces cannot drift.
 
 Beck et al. ("A Distributed and Approximated Nearest Neighbors
 Algorithm for an Efficient Large Scale Mean Shift Clustering") use the
@@ -31,9 +34,15 @@ import numpy as np
 
 from repro.engine.backends import ExecutionBackend, SerialBackend
 from repro.engine.chunking import chunk_ranges
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
-from repro.lsh.bands import compute_band_keys, validate_bands_rows
-from repro.lsh.index import ClusteredLSHIndex, IndexStats
+from repro.engine.shared import resolve_array
+from repro.exceptions import ConfigurationError, DataValidationError
+from repro.lsh.index import (
+    BandRuns,
+    BaseClusteredIndex,
+    band_runs,
+    tables_from_runs,
+)
+from repro.lsh.bands import compute_band_keys
 
 __all__ = ["ShardedClusteredLSHIndex"]
 
@@ -41,103 +50,25 @@ __all__ = ["ShardedClusteredLSHIndex"]
 ShardTables = list[dict[int, np.ndarray]]
 
 
-def _build_shard_tables(
-    static: tuple[np.ndarray, int], dynamic: None, span: tuple[int, int]
-) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
-    """Sort one shard's slice of the band-key matrix into bucket runs.
+def _build_shard_tables(static, dynamic, span: tuple[int, int]) -> BandRuns:
+    """Kernel: sort one shard's slice of the band keys into bucket runs.
 
-    Returns one compact ``(bucket_keys, boundaries, order)`` triple per
-    band — three arrays instead of one tiny array per bucket, so the
-    process backend ships O(bands) buffers back, not O(buckets).
-    ``order`` holds *global* item ids (local argsort order plus the
-    shard offset); the parent slices it into the per-key dict.
+    ``dynamic`` is ``(band_keys_ref, bands)`` where the keys travel as
+    a :class:`~repro.engine.shared.SharedArray` (zero-copy / shared
+    memory) or a plain array; ``static`` is whatever the enclosing
+    session pinned and is not consulted here.
     """
-    band_keys, bands = static
-    start, stop = span
-    local = band_keys[start:stop]
-    out = []
-    for j in range(bands):
-        order = np.argsort(local[:, j], kind="stable").astype(np.int64)
-        order += start
-        sorted_keys = band_keys[order, j]
-        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
-        starts = np.concatenate([[0], boundaries])
-        out.append((sorted_keys[starts], starts, order))
-    return out
+    band_keys_ref, bands = dynamic
+    band_keys = resolve_array(band_keys_ref)
+    return band_runs(band_keys, bands, span[0], span[1])
 
 
-def _tables_from_runs(
-    runs: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
-) -> ShardTables:
-    """Slice the per-band bucket runs into key → members dicts (views)."""
-    tables: ShardTables = []
-    for bucket_keys, starts, order in runs:
-        ends = np.concatenate([starts[1:], [len(order)]])
-        tables.append(
-            {
-                int(key): order[s:e]
-                for key, s, e in zip(bucket_keys, starts, ends)
-            }
-        )
-    return tables
-
-
-def _group_neighbours_from_runs(
-    unique_rows: np.ndarray,
-    shard_runs: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
-    n_items: int,
-) -> list[np.ndarray]:
-    """Materialise every group's neighbour list in one vectorised sweep.
-
-    Per shard and band, each group's bucket is located with one
-    ``searchsorted`` against the sorted bucket keys and gathered as a
-    run of the band's order array; the runs of all bands and shards are
-    deduplicated per group with a single segmented ``np.unique`` over
-    ``group * n_items + member`` keys.  No per-group Python work — this
-    is what makes index construction fast at scale regardless of the
-    backend.
-    """
-    n_groups = len(unique_rows)
-    member_parts: list[np.ndarray] = []
-    group_parts: list[np.ndarray] = []
-    group_ids = np.arange(n_groups, dtype=np.int64)
-    for runs in shard_runs:
-        for j, (bucket_keys, starts, order) in enumerate(runs):
-            ends = np.concatenate([starts[1:], [len(order)]])
-            pos = np.searchsorted(bucket_keys, unique_rows[:, j])
-            found = np.flatnonzero(
-                (pos < len(bucket_keys))
-                & (bucket_keys[np.minimum(pos, len(bucket_keys) - 1)]
-                   == unique_rows[:, j])
-            )
-            if not len(found):
-                continue
-            run_starts = starts[pos[found]]
-            run_lengths = ends[pos[found]] - run_starts
-            total = int(run_lengths.sum())
-            # gather all runs at once: order[start_g + offset] for every
-            # offset in [0, length_g)
-            bases = np.repeat(run_starts, run_lengths)
-            offsets = np.arange(total, dtype=np.int64) - np.repeat(
-                np.cumsum(run_lengths) - run_lengths, run_lengths
-            )
-            member_parts.append(order[bases + offsets])
-            group_parts.append(np.repeat(group_ids[found], run_lengths))
-    members = np.concatenate(member_parts)
-    groups = np.concatenate(group_parts)
-    uniq = np.unique(groups * n_items + members)
-    u_group = uniq // n_items
-    u_member = uniq - u_group * n_items
-    lengths = np.bincount(u_group, minlength=n_groups)
-    return np.split(u_member, np.cumsum(lengths[:-1]))
-
-
-class ShardedClusteredLSHIndex:
+class ShardedClusteredLSHIndex(BaseClusteredIndex):
     """Clustered LSH index split into per-shard bucket tables.
 
     Drop-in for :class:`~repro.lsh.index.ClusteredLSHIndex` wherever
     the fitting loop and predict path are concerned (same query,
-    assignment and neighbour-group methods), with two extra knobs:
+    assignment and neighbour-CSR methods), with two extra knobs:
 
     Parameters
     ----------
@@ -149,7 +80,7 @@ class ShardedClusteredLSHIndex:
         tasks for a parallel backend.
     precompute_neighbours:
         As in the unsharded index.  Must be ``False`` to allow
-        :meth:`insert` (streaming).
+        :meth:`~repro.lsh.index.BaseClusteredIndex.insert` (streaming).
 
     Examples
     --------
@@ -168,18 +99,12 @@ class ShardedClusteredLSHIndex:
         n_shards: int = 1,
         precompute_neighbours: bool = True,
     ):
-        validate_bands_rows(bands, rows)
+        super().__init__(bands, rows, precompute_neighbours)
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
-        self.bands = int(bands)
-        self.rows = int(rows)
         self.n_shards = int(n_shards)
-        self.precompute_neighbours = bool(precompute_neighbours)
-        self._assignments: np.ndarray | None = None
-        self._band_keys: np.ndarray | None = None
         self._shards: list[ShardTables] | None = None
-        self._group_of: np.ndarray | None = None
-        self._group_neighbours: list[np.ndarray] | None = None
+        self._shard_fill: list[list[dict[int, int]]] | None = None
 
     # ------------------------------------------------------------------
     # build
@@ -203,19 +128,12 @@ class ShardedClusteredLSHIndex:
             Where the shard builds run; defaults to serial.
         """
         signatures = np.asarray(signatures)
-        assignments = np.asarray(assignments)
-        if assignments.ndim != 1:
-            raise DataValidationError(
-                f"assignments must be 1-D, got ndim={assignments.ndim}"
-            )
-        if len(assignments) != len(signatures):
-            raise DataValidationError(
-                f"{len(signatures)} signatures but {len(assignments)} assignments"
-            )
-        if len(signatures) == 0:
-            raise DataValidationError("cannot build an index over zero items")
+        assignments = self._validated_assignments(
+            len(signatures), assignments, "signatures"
+        )
         band_keys = compute_band_keys(signatures, self.bands, self.rows)
-        self._finalise(band_keys, assignments, backend or SerialBackend())
+        runs = self._compute_runs(band_keys, backend or SerialBackend())
+        self._finalise_from_runs(band_keys, assignments, runs)
         return self
 
     @classmethod
@@ -231,241 +149,152 @@ class ShardedClusteredLSHIndex:
     ) -> "ShardedClusteredLSHIndex":
         """Rebuild from persisted ``(n, bands)`` keys (see ``save_model``)."""
         band_keys = np.asarray(band_keys)
-        assignments = np.asarray(assignments)
         if band_keys.ndim != 2 or band_keys.shape[1] != bands:
             raise DataValidationError(
                 f"band_keys must be (n_items, {bands}), got shape "
                 f"{band_keys.shape}"
             )
-        if len(assignments) != len(band_keys):
-            raise DataValidationError(
-                f"{len(band_keys)} key rows but {len(assignments)} assignments"
-            )
-        if len(band_keys) == 0:
-            raise DataValidationError("cannot build an index over zero items")
+        assignments = cls._validated_assignments(
+            len(band_keys), assignments, "key rows"
+        )
         index = cls(
             bands, rows, n_shards=n_shards, precompute_neighbours=precompute_neighbours
         )
-        index._finalise(
-            band_keys.astype(np.uint64, copy=False),
-            assignments,
-            backend or SerialBackend(),
+        band_keys = band_keys.astype(np.uint64, copy=False)
+        runs = index._compute_runs(band_keys, backend or SerialBackend())
+        index._finalise_from_runs(band_keys, assignments, runs)
+        return index
+
+    @classmethod
+    def from_shard_runs(
+        cls,
+        bands: int,
+        rows: int,
+        band_keys: np.ndarray,
+        assignments: np.ndarray,
+        shard_runs: list[BandRuns],
+        n_shards: int = 1,
+        precompute_neighbours: bool = True,
+    ) -> "ShardedClusteredLSHIndex":
+        """Assemble an index from bucket runs computed elsewhere.
+
+        The engine's fit-lifetime session uses this to build the shard
+        tables on its already-open worker pool (one
+        :func:`_build_shard_tables` task per shard over
+        :func:`~repro.engine.chunking.chunk_ranges` spans) without
+        opening a second pool.
+        """
+        assignments = cls._validated_assignments(
+            len(band_keys), assignments, "key rows"
+        )
+        index = cls(
+            bands, rows, n_shards=n_shards, precompute_neighbours=precompute_neighbours
+        )
+        index._finalise_from_runs(
+            np.asarray(band_keys, dtype=np.uint64), assignments, shard_runs
         )
         return index
 
-    def _finalise(
+    def _compute_runs(
+        self, band_keys: np.ndarray, backend: ExecutionBackend
+    ) -> list[BandRuns]:
+        spans = chunk_ranges(len(band_keys), self.n_shards)
+        keys_ref = backend.share_array(band_keys)
+        try:
+            return backend.run(
+                _build_shard_tables, spans, dynamic=(keys_ref, self.bands)
+            )
+        finally:
+            keys_ref.release()
+
+    def _finalise_from_runs(
         self,
         band_keys: np.ndarray,
         assignments: np.ndarray,
-        backend: ExecutionBackend,
+        shard_runs: list[BandRuns],
     ) -> None:
-        self._band_keys = band_keys
-        self._assignments = assignments.astype(np.int64).copy()
-        spans = chunk_ranges(len(band_keys), self.n_shards)
-        shard_runs = backend.run(
-            _build_shard_tables, spans, static=(band_keys, self.bands)
-        )
-        self._shards = [_tables_from_runs(runs) for runs in shard_runs]
+        if len(shard_runs) > self.n_shards:
+            raise ConfigurationError(
+                f"{len(shard_runs)} shard runs for n_shards={self.n_shards}; "
+                "runs must come from chunk_ranges(n_items, n_shards)"
+            )
+        self._store_items(band_keys, assignments)
+        shards = [tables_from_runs(runs) for runs in shard_runs]
+        # chunk_ranges never yields empty spans, so tiny inputs produce
+        # fewer runs than shards; pad with empty tables so round-robin
+        # insertion can target any of the configured shards.
+        while len(shards) < self.n_shards:
+            shards.append([{} for _ in range(self.bands)])
+        self._shards = shards
+        self._shard_fill = [
+            [{} for _ in range(self.bands)] for _ in range(self.n_shards)
+        ]
         if self.precompute_neighbours:
-            unique_rows, group_of = np.unique(
-                band_keys, axis=0, return_inverse=True
-            )
-            self._group_of = group_of.astype(np.int64).ravel()
-            self._group_neighbours = _group_neighbours_from_runs(
-                unique_rows, shard_runs, len(band_keys)
-            )
+            self._store_neighbours(band_keys, shard_runs)
 
     # ------------------------------------------------------------------
-    # queries (contract identical to ClusteredLSHIndex)
+    # layout hooks (contract identical to ClusteredLSHIndex)
     # ------------------------------------------------------------------
+
+    def _is_built(self) -> bool:
+        return self._shards is not None
 
     def _bucket_hits(self, keys: np.ndarray) -> list[np.ndarray]:
-        """All shard buckets matching a ``(bands,)`` key row."""
-        assert self._shards is not None
+        assert self._shards is not None and self._shard_fill is not None
         hits: list[np.ndarray] = []
-        for tables in self._shards:
+        for tables, fills in zip(self._shards, self._shard_fill):
             for j in range(self.bands):
-                members = tables[j].get(int(keys[j]))
+                members = self._bucket_members(tables[j], fills[j], int(keys[j]))
                 if members is not None:
                     hits.append(members)
         return hits
 
-    def candidate_items(self, item: int) -> np.ndarray:
-        """All items sharing at least one bucket with ``item`` (incl. itself)."""
-        self._check_built()
-        if self._group_neighbours is not None:
-            assert self._group_of is not None
-            return self._group_neighbours[self._group_of[item]]
-        assert self._band_keys is not None
-        return np.unique(np.concatenate(self._bucket_hits(self._band_keys[item])))
-
-    def candidate_clusters(self, item: int) -> np.ndarray:
-        """The paper's shortlist: distinct clusters of the item's neighbours."""
-        self._check_built()
-        assert self._assignments is not None
-        return np.unique(self._assignments[self.candidate_items(item)])
-
-    def candidate_clusters_for_signature(self, signature: np.ndarray) -> np.ndarray:
-        """Shortlist for a novel signature (may be empty), as unsharded."""
-        self._check_built()
-        assert self._assignments is not None
-        signature = np.asarray(signature)
-        if signature.ndim == 1:
-            signature = signature[None, :]
-        keys = compute_band_keys(signature, self.bands, self.rows)[0]
-        hits = self._bucket_hits(keys)
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(self._assignments[np.concatenate(hits)])
-
-    def neighbour_groups(self) -> tuple[np.ndarray, list[np.ndarray]] | None:
-        """Grouped neighbour lists, exactly as the unsharded index."""
-        self._check_built()
-        if self._group_of is None or self._group_neighbours is None:
-            return None
-        return self._group_of, self._group_neighbours
-
-    # ------------------------------------------------------------------
-    # incremental insertion (streaming extension)
-    # ------------------------------------------------------------------
-
-    def insert(self, signature: np.ndarray, cluster: int) -> int:
-        """Add one new item, hashing it into one shard's tables.
+    def _insert_into_buckets(self, keys: np.ndarray, item: int) -> None:
+        """Hash one new item into one shard's tables.
 
         New items are spread round-robin over the shards (``item_id %
         n_shards``); because queries union all shards, the choice never
-        affects results.  Requires ``precompute_neighbours=False``,
-        like the unsharded :meth:`~repro.lsh.index.ClusteredLSHIndex.insert`.
+        affects results.
         """
-        self._check_built()
-        if self._group_neighbours is not None:
-            raise ConfigurationError(
-                "insert requires precompute_neighbours=False; grouped "
-                "neighbour lists cannot absorb new items"
-            )
-        assert (
-            self._band_keys is not None
-            and self._shards is not None
-            and self._assignments is not None
-        )
-        signature = np.asarray(signature)
-        if signature.ndim != 1:
-            raise DataValidationError(
-                f"signature must be 1-D, got ndim={signature.ndim}"
-            )
-        keys = compute_band_keys(signature[None, :], self.bands, self.rows)[0]
-        item = len(self._band_keys)
-        self._band_keys = np.vstack([self._band_keys, keys[None, :]])
-        self._assignments = np.append(self._assignments, np.int64(cluster))
-        tables = self._shards[item % self.n_shards]
+        assert self._shards is not None and self._shard_fill is not None
+        shard = item % self.n_shards
+        tables, fills = self._shards[shard], self._shard_fill[shard]
         for j in range(self.bands):
-            members = tables[j].get(int(keys[j]))
-            if members is None:
-                tables[j][int(keys[j])] = np.array([item], dtype=np.int64)
-            else:
-                tables[j][int(keys[j])] = np.append(members, np.int64(item))
-        return item
+            self._bucket_append(tables[j], fills[j], int(keys[j]), item)
 
-    # ------------------------------------------------------------------
-    # cluster-reference updates
-    # ------------------------------------------------------------------
-
-    def update_assignment(self, item: int, cluster: int) -> None:
-        """O(1) rewrite of one item's cluster reference."""
-        self._check_built()
-        assert self._assignments is not None
-        self._assignments[item] = cluster
-
-    def set_assignments(self, assignments: np.ndarray) -> None:
-        """Bulk-replace every cluster reference (used between iterations)."""
-        self._check_built()
-        assert self._assignments is not None
-        assignments = np.asarray(assignments, dtype=np.int64)
-        if assignments.shape != self._assignments.shape:
-            raise DataValidationError(
-                f"expected shape {self._assignments.shape}, got {assignments.shape}"
-            )
-        self._assignments = assignments.copy()
-
-    @property
-    def assignments(self) -> np.ndarray:
-        """A copy of the current cluster references."""
-        self._check_built()
-        assert self._assignments is not None
-        return self._assignments.copy()
-
-    def assignments_view(self) -> np.ndarray:
-        """The live cluster-reference array (no copy); see unsharded docs."""
-        self._check_built()
-        assert self._assignments is not None
-        return self._assignments
+    def _bucket_sizes(self) -> np.ndarray:
+        assert self._shards is not None and self._shard_fill is not None
+        return np.array(
+            [
+                len(self._bucket_members(tables[j], fills[j], key))
+                for tables, fills in zip(self._shards, self._shard_fill)
+                for j in range(self.bands)
+                for key in tables[j]
+            ],
+            dtype=np.int64,
+        )
 
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
 
-    @property
-    def n_items(self) -> int:
-        self._check_built()
-        assert self._band_keys is not None
-        return len(self._band_keys)
-
-    @property
-    def band_keys(self) -> np.ndarray:
-        """The ``(n_items, bands)`` bucket-key matrix (live, do not mutate)."""
-        self._check_built()
-        assert self._band_keys is not None
-        return self._band_keys
-
     def shard_sizes(self) -> np.ndarray:
         """Items indexed per shard (build partition plus inserts)."""
         self._check_built()
-        assert self._shards is not None
+        assert self._shards is not None and self._shard_fill is not None
         sizes = np.zeros(self.n_shards, dtype=np.int64)
-        for shard, tables in enumerate(self._shards):
-            if self.bands:
-                sizes[shard] = sum(len(m) for m in tables[0].values())
+        if self.bands:
+            for shard, (tables, fills) in enumerate(
+                zip(self._shards, self._shard_fill)
+            ):
+                sizes[shard] = sum(
+                    len(self._bucket_members(tables[0], fills[0], key))
+                    for key in tables[0]
+                )
         return sizes
 
-    def stats(self) -> IndexStats:
-        """Aggregate bucket/neighbour statistics across every shard."""
-        self._check_built()
-        assert self._shards is not None
-        sizes = np.array(
-            [
-                len(members)
-                for tables in self._shards
-                for band in tables
-                for members in band.values()
-            ],
-            dtype=np.int64,
-        )
-        if self._group_of is not None and self._group_neighbours is not None:
-            lengths = np.array(
-                [len(group) for group in self._group_neighbours], dtype=np.int64
-            )
-            mean_nb = float(lengths[self._group_of].mean())
-        else:
-            mean_nb = float("nan")
-        return IndexStats(
-            n_items=self.n_items,
-            bands=self.bands,
-            rows=self.rows,
-            n_buckets=int(len(sizes)),
-            mean_bucket_size=float(sizes.mean()) if sizes.size else 0.0,
-            max_bucket_size=int(sizes.max()) if sizes.size else 0,
-            mean_neighbours=mean_nb,
-        )
-
-    def _check_built(self) -> None:
-        if self._shards is None:
-            raise NotFittedError(
-                "index not built; call build(signatures, assignments) first"
-            )
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        built = self._shards is not None
         return (
             f"ShardedClusteredLSHIndex(bands={self.bands}, rows={self.rows}, "
-            f"n_shards={self.n_shards}, built={built})"
+            f"n_shards={self.n_shards}, built={self._is_built()})"
         )

@@ -1,0 +1,184 @@
+"""Zero-copy array transport between the engine and its workers.
+
+Parallel phases need bulky read-only arrays — the item matrix, band
+keys, the flattened neighbour CSR — visible to every worker without
+re-pickling them per task.  :class:`SharedArray` is the one handle the
+engine passes around, with two modes:
+
+* **wrapped** — holds the array directly.  Free for the serial and
+  thread backends (same address space) and for ``fork`` process pools
+  opened *after* the array exists (copy-on-write).
+* **shm-backed** — the owning process copies the array once into a
+  named :mod:`multiprocessing.shared_memory` segment.  Pickled handles
+  carry only ``(name, shape, dtype)`` — a few hundred bytes — and
+  workers attach lazily on first :meth:`SharedArray.get`, cached per
+  process, so a handle can ride inside every task's ``dynamic`` tuple
+  for the cost of its descriptor.  This is how state created *after* a
+  fit-lifetime pool opened (band keys, neighbour CSR) reaches process
+  workers, and how ``spawn`` pools receive the item matrix itself.
+
+The owner must call :meth:`SharedArray.release` when the fit session
+closes; workers keep their attachments for the life of the process
+(the mapping stays valid after an unlink on POSIX).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shm_module
+except ImportError:  # pragma: no cover - extremely stripped builds
+    _shm_module = None
+
+__all__ = ["SharedArray", "ensure_cleanup_tracker", "resolve_array"]
+
+#: Per-process cache of attached segments: shm name -> (segment, array).
+#: Attaching costs an shm_open + mmap, so each worker pays it once per
+#: segment no matter how many task dispatches reference it.
+_ATTACHED: dict[str, tuple[Any, np.ndarray]] = {}
+
+
+def ensure_cleanup_tracker() -> None:
+    """Start the multiprocessing resource tracker in *this* process.
+
+    Called before a worker pool is created: workers then inherit the
+    parent's tracker, so their attach-time registrations (Python ≤ 3.12
+    registers unconditionally) land in the same cache the owner's
+    unlink clears — one tracker, balanced bookkeeping, no spurious
+    "leaked shared_memory" warnings from per-worker trackers.
+    """
+    try:  # pragma: no cover - defensive around a semi-private API
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+def _attach_segment(name: str) -> Any:
+    """Attach to an existing segment without adopting its cleanup.
+
+    Only the creating process may unlink a segment; on Pythons whose
+    :class:`~multiprocessing.shared_memory.SharedMemory` supports the
+    ``track`` flag (3.13+) attaching would otherwise enrol the segment
+    with the resource tracker and double-unlink it at exit.
+    """
+    try:
+        return _shm_module.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13 (attach never tracks)
+        return _shm_module.SharedMemory(name=name)
+
+
+class SharedArray:
+    """Picklable handle to a read-only ndarray (see module docstring).
+
+    Build with :meth:`wrap` (direct reference) or :meth:`via_shm`
+    (copy into shared memory); read with :meth:`get`; the creating
+    side releases shm segments with :meth:`release`.
+    """
+
+    __slots__ = ("_array", "_shm", "_name", "_shape", "_dtype")
+
+    def __init__(self) -> None:
+        self._array: np.ndarray | None = None
+        self._shm: Any = None
+        self._name: str | None = None
+        self._shape: tuple[int, ...] | None = None
+        self._dtype: np.dtype | None = None
+
+    @classmethod
+    def wrap(cls, array: np.ndarray) -> "SharedArray":
+        """Reference ``array`` directly (shared address space / fork COW)."""
+        handle = cls()
+        handle._array = np.asarray(array)
+        return handle
+
+    @classmethod
+    def via_shm(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a named shared-memory segment.
+
+        Falls back to :meth:`wrap` (pickled transport) when shared
+        memory is unavailable, so callers never need a second code
+        path — only a slower one on exotic platforms.
+        """
+        array = np.ascontiguousarray(array)
+        if _shm_module is None:
+            return cls.wrap(array)
+        try:
+            segment = _shm_module.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+        except (OSError, ValueError):
+            return cls.wrap(array)
+        view: np.ndarray = np.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf
+        )
+        view[...] = array
+        handle = cls()
+        handle._array = view
+        handle._shm = segment
+        handle._name = segment.name
+        handle._shape = array.shape
+        handle._dtype = array.dtype
+        return handle
+
+    @property
+    def is_shm(self) -> bool:
+        """Whether the handle travels as an shm descriptor."""
+        return self._name is not None
+
+    def get(self) -> np.ndarray:
+        """The referenced array (attaching and caching on first use)."""
+        if self._array is not None:
+            return self._array
+        assert self._name is not None and _shm_module is not None
+        cached = _ATTACHED.get(self._name)
+        if cached is None:
+            segment = _attach_segment(self._name)
+            array: np.ndarray = np.ndarray(
+                self._shape, dtype=self._dtype, buffer=segment.buf
+            )
+            cached = (segment, array)
+            _ATTACHED[self._name] = cached
+        self._array = cached[1]
+        return self._array
+
+    def release(self) -> None:
+        """Owner-side cleanup: unlink the segment (no-op when wrapped)."""
+        if self._shm is None:
+            return
+        self._array = None
+        segment, self._shm = self._shm, None
+        try:
+            segment.close()
+            segment.unlink()
+        except (BufferError, FileNotFoundError):  # pragma: no cover
+            pass
+
+    # -- pickling: descriptors only for shm-backed handles --------------
+
+    def __getstate__(self) -> dict:
+        if self._name is not None:
+            return {"name": self._name, "shape": self._shape, "dtype": self._dtype}
+        return {"array": self._array}
+
+    def __setstate__(self, state: dict) -> None:
+        self._array = state.get("array")
+        self._shm = None
+        self._name = state.get("name")
+        self._shape = state.get("shape")
+        self._dtype = state.get("dtype")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = f"shm={self._name!r}" if self.is_shm else "wrapped"
+        return f"SharedArray({mode})"
+
+
+def resolve_array(ref: "SharedArray | np.ndarray") -> np.ndarray:
+    """Materialise a kernel argument that may be a :class:`SharedArray`."""
+    if isinstance(ref, SharedArray):
+        return ref.get()
+    return np.asarray(ref)

@@ -67,10 +67,11 @@ class RunStats:
         True when the run stopped because no item moved (rather than
         hitting ``max_iter``).
     phase_s:
-        Wall-clock seconds per engine phase (``exhaustive_assign``,
-        ``signatures``, ``index_build``, ``iterations``), populated by
-        the framework fit loop; empty for runs that predate phase
-        accounting.
+        Wall-clock seconds per engine phase (``session_open`` — the
+        one-off worker-pool spin-up of the fit-lifetime session —
+        ``exhaustive_assign``, ``signatures``, ``index_build``,
+        ``iterations``), populated by the framework fit loop; empty
+        for runs that predate phase accounting.
     """
 
     algorithm: str = ""

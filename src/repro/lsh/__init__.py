@@ -28,7 +28,7 @@ from repro.lsh.hashing import (
     splitmix64,
     stable_string_hash,
 )
-from repro.lsh.index import ClusteredLSHIndex, IndexStats
+from repro.lsh.index import BaseClusteredIndex, ClusteredLSHIndex, IndexStats
 from repro.lsh.minhash import EMPTY_SLOT, MinHasher
 from repro.lsh.pstable import PStableHasher
 from repro.lsh.simhash import SimHasher
@@ -46,6 +46,7 @@ __all__ = [
     "compute_band_keys",
     "band_probability",
     "threshold_similarity",
+    "BaseClusteredIndex",
     "ClusteredLSHIndex",
     "IndexStats",
     "LSHFamily",

@@ -10,20 +10,33 @@ Build phase (run once, after centroid initialisation):
 2. per band, a hash table maps bucket key → the array of member items;
 3. optionally, each item's static *neighbour list* — the union of its
    buckets' members — is precomputed, because buckets never change
-   after the build.
+   after the build.  Neighbour lists are stored as one flat CSR pair
+   (``indptr``, ``indices``) per *group* of items with identical
+   band-key rows: such items occupy exactly the same buckets and share
+   one list, which collapses the pathological case of many identical
+   (or empty) token sets from O(n²) to O(n) work and memory, and the
+   flat layout keeps the per-iteration hot loop free of Python-object
+   traffic.
 
 Query phase (run once per item per iteration):
 
-* :meth:`ClusteredLSHIndex.candidate_clusters` returns the distinct
+* :meth:`BaseClusteredIndex.candidate_clusters` returns the distinct
   clusters currently holding the item's neighbours.  This is the
   paper's *shortlist*.  Because an item always collides with itself,
   the shortlist always contains the item's own current cluster.
 
 Update phase (after each reassignment):
 
-* :meth:`ClusteredLSHIndex.update_assignment` rewrites one slot of the
-  assignment array — the O(1) "update the cluster reference" step the
-  paper highlights.
+* :meth:`BaseClusteredIndex.update_assignment` rewrites one slot of
+  the assignment array — the O(1) "update the cluster reference" step
+  the paper highlights.
+
+:class:`BaseClusteredIndex` owns every piece of this surface that does
+not depend on how bucket tables are laid out; the unsharded
+:class:`ClusteredLSHIndex` here and the engine's
+:class:`~repro.engine.sharded_index.ShardedClusteredLSHIndex` differ
+only in their table layout hooks, so the assignment/insert/query
+semantics cannot drift between them.
 """
 
 from __future__ import annotations
@@ -35,7 +48,17 @@ import numpy as np
 from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
 from repro.lsh.bands import compute_band_keys, validate_bands_rows
 
-__all__ = ["ClusteredLSHIndex", "IndexStats"]
+__all__ = [
+    "BaseClusteredIndex",
+    "ClusteredLSHIndex",
+    "IndexStats",
+    "band_runs",
+    "tables_from_runs",
+    "group_csr_from_runs",
+]
+
+#: One span's per-band bucket runs: ``(bucket_keys, starts, order)``.
+BandRuns = list[tuple[np.ndarray, np.ndarray, np.ndarray]]
 
 
 @dataclass(frozen=True)
@@ -68,7 +91,489 @@ class IndexStats:
     mean_neighbours: float
 
 
-class ClusteredLSHIndex:
+# ----------------------------------------------------------------------
+# shared build machinery (also used by the sharded index and the engine)
+# ----------------------------------------------------------------------
+
+
+def band_runs(band_keys: np.ndarray, bands: int, start: int, stop: int) -> BandRuns:
+    """Sort one item span of the band-key matrix into bucket runs.
+
+    Returns one compact ``(bucket_keys, starts, order)`` triple per
+    band — three arrays instead of one tiny array per bucket, so a
+    process backend ships O(bands) buffers back, not O(buckets).
+    ``order`` holds *global* item ids (local argsort order plus the
+    span offset); :func:`tables_from_runs` slices it into the per-key
+    dict without copying.
+    """
+    local = band_keys[start:stop]
+    out: BandRuns = []
+    for j in range(bands):
+        order = np.argsort(local[:, j], kind="stable").astype(np.int64)
+        order += start
+        sorted_keys = band_keys[order, j]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate([[0], boundaries])
+        out.append((sorted_keys[starts], starts, order))
+    return out
+
+
+def tables_from_runs(runs: BandRuns) -> list[dict[int, np.ndarray]]:
+    """Slice per-band bucket runs into key → members dicts (views)."""
+    tables: list[dict[int, np.ndarray]] = []
+    for bucket_keys, starts, order in runs:
+        ends = np.concatenate([starts[1:], [len(order)]])
+        tables.append(
+            {
+                int(key): order[s:e]
+                for key, s, e in zip(bucket_keys, starts, ends)
+            }
+        )
+    return tables
+
+
+def group_csr_from_runs(
+    unique_rows: np.ndarray,
+    span_runs: list[BandRuns],
+    n_items: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise every group's neighbour list as one flat CSR pair.
+
+    Per span and band, each group's bucket is located with one
+    ``searchsorted`` against the sorted bucket keys and gathered as a
+    run of the band's order array; the runs of all bands and spans are
+    deduplicated per group with a single segmented ``np.unique`` over
+    ``group * n_items + member`` keys.  No per-group Python work — this
+    is what makes index construction fast at scale regardless of the
+    backend.
+
+    Returns ``(indptr, indices)`` where group ``g``'s sorted distinct
+    neighbours are ``indices[indptr[g]:indptr[g + 1]]``.
+    """
+    n_groups = len(unique_rows)
+    member_parts: list[np.ndarray] = []
+    group_parts: list[np.ndarray] = []
+    group_ids = np.arange(n_groups, dtype=np.int64)
+    for runs in span_runs:
+        for j, (bucket_keys, starts, order) in enumerate(runs):
+            ends = np.concatenate([starts[1:], [len(order)]])
+            pos = np.searchsorted(bucket_keys, unique_rows[:, j])
+            found = np.flatnonzero(
+                (pos < len(bucket_keys))
+                & (bucket_keys[np.minimum(pos, len(bucket_keys) - 1)]
+                   == unique_rows[:, j])
+            )
+            if not len(found):
+                continue
+            run_starts = starts[pos[found]]
+            run_lengths = ends[pos[found]] - run_starts
+            total = int(run_lengths.sum())
+            # gather all runs at once: order[start_g + offset] for every
+            # offset in [0, length_g)
+            bases = np.repeat(run_starts, run_lengths)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(run_lengths) - run_lengths, run_lengths
+            )
+            member_parts.append(order[bases + offsets])
+            group_parts.append(np.repeat(group_ids[found], run_lengths))
+    if not member_parts:
+        return np.zeros(n_groups + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    members = np.concatenate(member_parts)
+    groups = np.concatenate(group_parts)
+    uniq = np.unique(groups * n_items + members)
+    u_group = uniq // n_items
+    u_member = uniq - u_group * n_items
+    lengths = np.bincount(u_group, minlength=n_groups)
+    indptr = np.zeros(n_groups + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    return indptr, u_member
+
+
+# ----------------------------------------------------------------------
+# the shared index surface
+# ----------------------------------------------------------------------
+
+
+class BaseClusteredIndex:
+    """Everything two clustered-index layouts must agree on.
+
+    Subclasses supply the bucket-table layout through three hooks —
+    :meth:`_is_built`, :meth:`_bucket_hits` and
+    :meth:`_insert_into_buckets` (plus :meth:`_bucket_sizes` for
+    diagnostics) — and inherit identical build validation, item
+    storage, queries, assignment updates, amortised insertion and
+    statistics, so the unsharded and sharded indexes cannot drift.
+
+    Item storage uses amortised doubling buffers: band keys and
+    assignments live in capacity arrays trimmed to the logical item
+    count, so a stream of :meth:`insert` calls costs O(1) amortised
+    per item instead of the O(n) reallocation a ``vstack`` per insert
+    would pay.
+    """
+
+    def __init__(self, bands: int, rows: int, precompute_neighbours: bool = True):
+        validate_bands_rows(bands, rows)
+        self.bands = int(bands)
+        self.rows = int(rows)
+        self.precompute_neighbours = bool(precompute_neighbours)
+        self._keys_buf: np.ndarray | None = None  # (capacity, bands) uint64
+        self._assign_buf: np.ndarray | None = None  # (capacity,) int64
+        self._n = 0
+        self._group_of: np.ndarray | None = None
+        self._nbr_indptr: np.ndarray | None = None
+        self._nbr_indices: np.ndarray | None = None
+
+    # -- layout hooks ----------------------------------------------------
+
+    def _is_built(self) -> bool:
+        """Whether the bucket tables exist."""
+        raise NotImplementedError
+
+    def _bucket_hits(self, keys: np.ndarray) -> list[np.ndarray]:
+        """All bucket member arrays matching a ``(bands,)`` key row."""
+        raise NotImplementedError
+
+    def _insert_into_buckets(self, keys: np.ndarray, item: int) -> None:
+        """Hash one new item into the layout's bucket tables."""
+        raise NotImplementedError
+
+    def _bucket_sizes(self) -> np.ndarray:
+        """Logical member count of every non-empty bucket."""
+        raise NotImplementedError
+
+    # -- shared build plumbing -------------------------------------------
+
+    @staticmethod
+    def _validated_assignments(
+        n_rows: int, assignments: np.ndarray, what: str
+    ) -> np.ndarray:
+        assignments = np.asarray(assignments)
+        if assignments.ndim != 1:
+            raise DataValidationError(
+                f"assignments must be 1-D, got ndim={assignments.ndim}"
+            )
+        if len(assignments) != n_rows:
+            raise DataValidationError(
+                f"{n_rows} {what} but {len(assignments)} assignments"
+            )
+        if n_rows == 0:
+            raise DataValidationError("cannot build an index over zero items")
+        return assignments
+
+    def _store_items(self, band_keys: np.ndarray, assignments: np.ndarray) -> None:
+        """Initialise the doubling buffers from a freshly built matrix."""
+        self._keys_buf = np.ascontiguousarray(band_keys, dtype=np.uint64)
+        self._assign_buf = assignments.astype(np.int64).copy()
+        self._n = len(band_keys)
+
+    def _store_neighbours(
+        self, band_keys: np.ndarray, span_runs: list[BandRuns]
+    ) -> None:
+        """Group identical band-key rows and build the neighbour CSR."""
+        unique_rows, group_of = np.unique(band_keys, axis=0, return_inverse=True)
+        self._group_of = group_of.astype(np.int64).ravel()
+        self._nbr_indptr, self._nbr_indices = group_csr_from_runs(
+            unique_rows, span_runs, len(band_keys)
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def candidate_items(self, item: int) -> np.ndarray:
+        """All items sharing at least one bucket with ``item`` (incl. itself)."""
+        self._check_built()
+        if self._nbr_indptr is not None:
+            assert self._group_of is not None and self._nbr_indices is not None
+            group = self._group_of[item]
+            return self._nbr_indices[
+                self._nbr_indptr[group] : self._nbr_indptr[group + 1]
+            ]
+        assert self._keys_buf is not None
+        return np.unique(np.concatenate(self._bucket_hits(self._keys_buf[item])))
+
+    def candidate_clusters(self, item: int) -> np.ndarray:
+        """The paper's shortlist: distinct clusters of the item's neighbours."""
+        self._check_built()
+        assert self._assign_buf is not None
+        return np.unique(self._assign_buf[: self._n][self.candidate_items(item)])
+
+    def candidate_clusters_for_signature(self, signature: np.ndarray) -> np.ndarray:
+        """Shortlist for a *novel* (un-indexed) signature.
+
+        Used at predict time for unseen items.  Unlike
+        :meth:`candidate_clusters`, the result may be empty if the new
+        signature collides with nothing.
+        """
+        self._check_built()
+        assert self._assign_buf is not None
+        signature = np.asarray(signature)
+        if signature.ndim == 1:
+            signature = signature[None, :]
+        keys = compute_band_keys(signature, self.bands, self.rows)[0]
+        hits = self._bucket_hits(keys)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self._assign_buf[: self._n][np.concatenate(hits)])
+
+    def shortlists_for_signatures(
+        self, signatures: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`candidate_clusters_for_signature` as a CSR pair.
+
+        Band keys for every query row are computed in one call, bucket
+        hits are gathered per row, and the per-row deduplication runs
+        as a single segmented ``np.unique`` over the whole batch.
+
+        Returns ``(indptr, clusters)``: row ``r``'s sorted distinct
+        candidate clusters are ``clusters[indptr[r]:indptr[r + 1]]``
+        (an empty slice where the row collides with nothing) —
+        row for row identical to the per-signature method.
+        """
+        self._check_built()
+        assert self._assign_buf is not None
+        signatures = np.asarray(signatures)
+        if signatures.ndim != 2:
+            raise DataValidationError(
+                f"signatures must be 2-D, got ndim={signatures.ndim}"
+            )
+        n_rows = len(signatures)
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        if n_rows == 0:
+            return indptr, np.empty(0, dtype=np.int64)
+        keys = compute_band_keys(signatures, self.bands, self.rows)
+        member_parts: list[np.ndarray] = []
+        row_parts: list[np.ndarray] = []
+        for row in range(n_rows):
+            hits = self._bucket_hits(keys[row])
+            if hits:
+                members = np.concatenate(hits)
+                member_parts.append(members)
+                row_parts.append(np.full(len(members), row, dtype=np.int64))
+        if not member_parts:
+            return indptr, np.empty(0, dtype=np.int64)
+        members = np.concatenate(member_parts)
+        rows_idx = np.concatenate(row_parts)
+        clusters = self._assign_buf[: self._n][members]
+        low = int(clusters.min())
+        span = int(clusters.max()) - low + 1
+        uniq = np.unique(rows_idx * span + (clusters - low))
+        u_row = uniq // span
+        u_cluster = uniq - u_row * span + low
+        counts = np.bincount(u_row, minlength=n_rows)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, u_cluster
+
+    def neighbour_csr(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """The flat neighbour storage: ``(group_of, indptr, indices)``.
+
+        Item ``i``'s precomputed neighbour list is
+        ``indices[indptr[group_of[i]]:indptr[group_of[i] + 1]]``; items
+        with identical band-key rows share one list.  Returns ``None``
+        when the index was built with ``precompute_neighbours=False``;
+        callers must then go through :meth:`candidate_items`.
+        """
+        self._check_built()
+        if self._nbr_indptr is None:
+            return None
+        assert self._group_of is not None and self._nbr_indices is not None
+        return self._group_of, self._nbr_indptr, self._nbr_indices
+
+    def neighbour_groups(self) -> tuple[np.ndarray, list[np.ndarray]] | None:
+        """Grouped neighbour lists: ``(group_of, group_neighbours)``.
+
+        Convenience view over :meth:`neighbour_csr` —
+        ``group_neighbours[group_of[i]]`` is item ``i``'s neighbour
+        list, each entry a zero-copy slice of the CSR ``indices``
+        array.  Returns ``None`` when neighbours are not precomputed.
+        """
+        csr = self.neighbour_csr()
+        if csr is None:
+            return None
+        group_of, indptr, indices = csr
+        lists = [
+            indices[indptr[g] : indptr[g + 1]] for g in range(len(indptr) - 1)
+        ]
+        return group_of, lists
+
+    # -- incremental insertion (streaming extension) ---------------------
+
+    def insert(self, signature: np.ndarray, cluster: int) -> int:
+        """Add one new item to the index and return its item id.
+
+        Supports the streaming extension (the paper's Further Work):
+        late-arriving items are hashed into the existing buckets with
+        their cluster reference, making them visible to subsequent
+        queries.  Requires ``precompute_neighbours=False`` — grouped
+        neighbour lists are frozen at build time and cannot absorb
+        inserts.  Band keys, assignments and bucket membership all
+        grow through amortised doubling buffers, so a bootstrap that
+        streams thousands of items in stays linear.
+
+        Parameters
+        ----------
+        signature:
+            ``(bands * rows,)`` signature of the new item.
+        cluster:
+            The cluster reference to store for it.
+        """
+        self._check_built()
+        if self._nbr_indptr is not None:
+            raise ConfigurationError(
+                "insert requires precompute_neighbours=False; grouped "
+                "neighbour lists cannot absorb new items"
+            )
+        assert self._keys_buf is not None and self._assign_buf is not None
+        signature = np.asarray(signature)
+        if signature.ndim != 1:
+            raise DataValidationError(
+                f"signature must be 1-D, got ndim={signature.ndim}"
+            )
+        keys = compute_band_keys(signature[None, :], self.bands, self.rows)[0]
+        item = self._n
+        if item == len(self._keys_buf):
+            capacity = max(4, 2 * item)
+            keys_buf = np.empty((capacity, self.bands), dtype=np.uint64)
+            keys_buf[:item] = self._keys_buf[:item]
+            self._keys_buf = keys_buf
+            assign_buf = np.empty(capacity, dtype=np.int64)
+            assign_buf[:item] = self._assign_buf[:item]
+            self._assign_buf = assign_buf
+        self._keys_buf[item] = keys
+        self._assign_buf[item] = np.int64(cluster)
+        self._n = item + 1
+        self._insert_into_buckets(keys, item)
+        return item
+
+    @staticmethod
+    def _bucket_append(
+        table: dict[int, np.ndarray], fill: dict[int, int], key: int, item: int
+    ) -> None:
+        """Append one member to a bucket with geometric over-allocation.
+
+        ``fill`` records the logical length of buckets whose array has
+        spare capacity; buckets untouched by insertion stay exact-size
+        views from the build and never appear in ``fill``.
+        """
+        members = table.get(key)
+        if members is None:
+            buf = np.empty(4, dtype=np.int64)
+            buf[0] = item
+            table[key] = buf
+            fill[key] = 1
+            return
+        used = fill.get(key, len(members))
+        if used == len(members):
+            buf = np.empty(max(4, 2 * used), dtype=np.int64)
+            buf[:used] = members[:used]
+            table[key] = buf
+            members = buf
+        members[used] = item
+        fill[key] = used + 1
+
+    @staticmethod
+    def _bucket_members(
+        table: dict[int, np.ndarray], fill: dict[int, int], key: int
+    ) -> np.ndarray | None:
+        """A bucket's logical members (``None`` for an absent key)."""
+        members = table.get(key)
+        if members is None:
+            return None
+        used = fill.get(key)
+        return members if used is None else members[:used]
+
+    # -- cluster-reference updates ---------------------------------------
+
+    def update_assignment(self, item: int, cluster: int) -> None:
+        """O(1) rewrite of one item's cluster reference."""
+        self._check_built()
+        assert self._assign_buf is not None
+        self._assign_buf[item] = cluster
+
+    def set_assignments(self, assignments: np.ndarray) -> None:
+        """Bulk-replace every cluster reference (used between iterations)."""
+        self._check_built()
+        assert self._assign_buf is not None
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if assignments.shape != (self._n,):
+            raise DataValidationError(
+                f"expected shape {(self._n,)}, got {assignments.shape}"
+            )
+        self._assign_buf[: self._n] = assignments
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """A copy of the current cluster references."""
+        self._check_built()
+        assert self._assign_buf is not None
+        return self._assign_buf[: self._n].copy()
+
+    def assignments_view(self) -> np.ndarray:
+        """The *live* cluster-reference array (no copy).
+
+        Intended for the inner fitting loops of this library: writing
+        ``view[i] = c`` is equivalent to :meth:`update_assignment` and
+        is immediately visible to :meth:`candidate_clusters`.  Treat as
+        an internal fast path; external callers should prefer the safe
+        methods.  (A later :meth:`insert` may reallocate the backing
+        buffer, so re-fetch the view after streaming new items in.)
+        """
+        self._check_built()
+        assert self._assign_buf is not None
+        return self._assign_buf[: self._n]
+
+    # -- diagnostics -----------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        self._check_built()
+        return self._n
+
+    @property
+    def band_keys(self) -> np.ndarray:
+        """The ``(n_items, bands)`` bucket-key matrix (live, do not mutate).
+
+        Together with the assignments this is sufficient to rebuild the
+        index (``from_band_keys``), which is how fitted models are
+        persisted without storing raw signatures.
+        """
+        self._check_built()
+        assert self._keys_buf is not None
+        return self._keys_buf[: self._n]
+
+    def stats(self) -> IndexStats:
+        """Bucket- and neighbour-level summary statistics."""
+        self._check_built()
+        sizes = self._bucket_sizes()
+        if self._nbr_indptr is not None:
+            assert self._group_of is not None
+            lengths = np.diff(self._nbr_indptr)
+            mean_nb = float(lengths[self._group_of].mean())
+        else:
+            mean_nb = float("nan")
+        return IndexStats(
+            n_items=self.n_items,
+            bands=self.bands,
+            rows=self.rows,
+            n_buckets=int(len(sizes)),
+            mean_bucket_size=float(sizes.mean()) if sizes.size else 0.0,
+            max_bucket_size=int(sizes.max()) if sizes.size else 0,
+            mean_neighbours=mean_nb,
+        )
+
+    def _check_built(self) -> None:
+        if not self._is_built():
+            raise NotFittedError(
+                "index not built; call build(signatures, assignments) first"
+            )
+
+
+# ----------------------------------------------------------------------
+# the unsharded index
+# ----------------------------------------------------------------------
+
+
+class ClusteredLSHIndex(BaseClusteredIndex):
     """Banded LSH index whose entries carry mutable cluster references.
 
     Parameters
@@ -79,9 +584,11 @@ class ClusteredLSHIndex:
         Rows per band ``r``.  Signatures must have width ``b * r``.
     precompute_neighbours:
         If True (default), each item's neighbour list is materialised
-        at build time as a CSR array pair.  Queries then cost a couple
-        of numpy gathers.  Turn off to save memory when buckets are
-        enormous (for example 1 band × 1 row on near-duplicate data).
+        at build time in the flat CSR storage (see the module
+        docstring).  Queries then cost a couple of numpy gathers.
+        Turn off to save memory when buckets are enormous (for example
+        1 band × 1 row on near-duplicate data), or to keep the index
+        insertable for streaming.
 
     Examples
     --------
@@ -95,20 +602,9 @@ class ClusteredLSHIndex:
     """
 
     def __init__(self, bands: int, rows: int, precompute_neighbours: bool = True):
-        validate_bands_rows(bands, rows)
-        self.bands = int(bands)
-        self.rows = int(rows)
-        self.precompute_neighbours = bool(precompute_neighbours)
-        self._assignments: np.ndarray | None = None
-        self._band_keys: np.ndarray | None = None
-        self._buckets: list[dict[int, np.ndarray]] | None = None
-        # Neighbour lists are stored per *group* of items with identical
-        # band-key rows: such items occupy exactly the same buckets and
-        # therefore share one neighbour list.  This collapses the
-        # pathological case of many identical (or empty) token sets
-        # from O(n²) to O(n) work and memory.
-        self._group_of: np.ndarray | None = None
-        self._group_neighbours: list[np.ndarray] | None = None
+        super().__init__(bands, rows, precompute_neighbours)
+        self._tables: list[dict[int, np.ndarray]] | None = None
+        self._fill: list[dict[int, int]] | None = None
 
     # ------------------------------------------------------------------
     # build
@@ -127,17 +623,9 @@ class ClusteredLSHIndex:
             change later.
         """
         signatures = np.asarray(signatures)
-        assignments = np.asarray(assignments)
-        if assignments.ndim != 1:
-            raise DataValidationError(
-                f"assignments must be 1-D, got ndim={assignments.ndim}"
-            )
-        if len(assignments) != len(signatures):
-            raise DataValidationError(
-                f"{len(signatures)} signatures but {len(assignments)} assignments"
-            )
-        if len(signatures) == 0:
-            raise DataValidationError("cannot build an index over zero items")
+        assignments = self._validated_assignments(
+            len(signatures), assignments, "signatures"
+        )
         band_keys = compute_band_keys(signatures, self.bands, self.rows)
         self._finalise(band_keys, assignments)
         return self
@@ -155,274 +643,67 @@ class ClusteredLSHIndex:
 
         Band keys fully determine the buckets and neighbour lists, so a
         persisted model only needs to store them (not the signatures)
-        to reconstruct its index exactly — see
-        :func:`repro.data.io.save_model`.
+        to reconstruct its index — CSR neighbour storage included —
+        exactly; see :func:`repro.data.io.save_model`.
         """
         band_keys = np.asarray(band_keys)
-        assignments = np.asarray(assignments)
         if band_keys.ndim != 2 or band_keys.shape[1] != bands:
             raise DataValidationError(
                 f"band_keys must be (n_items, {bands}), got shape "
                 f"{band_keys.shape}"
             )
-        if len(assignments) != len(band_keys):
-            raise DataValidationError(
-                f"{len(band_keys)} key rows but {len(assignments)} assignments"
-            )
-        if len(band_keys) == 0:
-            raise DataValidationError("cannot build an index over zero items")
+        assignments = cls._validated_assignments(
+            len(band_keys), assignments, "key rows"
+        )
         index = cls(bands, rows, precompute_neighbours=precompute_neighbours)
         index._finalise(band_keys.astype(np.uint64, copy=False), assignments)
         return index
 
     def _finalise(self, band_keys: np.ndarray, assignments: np.ndarray) -> None:
         """Common tail of :meth:`build` and :meth:`from_band_keys`."""
-        self._band_keys = band_keys
-        self._assignments = assignments.astype(np.int64).copy()
-        self._buckets = [
-            self._bucketise(self._band_keys[:, j]) for j in range(self.bands)
-        ]
+        self._store_items(band_keys, assignments)
+        runs = band_runs(band_keys, self.bands, 0, len(band_keys))
+        self._tables = tables_from_runs(runs)
+        self._fill = [{} for _ in range(self.bands)]
         if self.precompute_neighbours:
-            self._build_neighbour_lists()
-
-    @staticmethod
-    def _bucketise(keys: np.ndarray) -> dict[int, np.ndarray]:
-        """Group item ids by bucket key via one argsort (no Python loop per item).
-
-        Bucket members are *views* into one shared order array, so a
-        band costs two allocations regardless of its bucket count.
-        """
-        order = np.argsort(keys, kind="stable").astype(np.int64, copy=False)
-        sorted_keys = keys[order]
-        # Boundaries where the key value changes delimit the buckets.
-        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [len(keys)]])
-        return {
-            int(sorted_keys[s]): order[s:e]
-            for s, e in zip(starts, ends)
-        }
-
-    def _build_neighbour_lists(self) -> None:
-        """Materialise one neighbour list per distinct band-key row."""
-        assert self._band_keys is not None and self._buckets is not None
-        unique_rows, group_of = np.unique(
-            self._band_keys, axis=0, return_inverse=True
-        )
-        self._group_of = group_of.astype(np.int64).ravel()
-        self._group_neighbours = [
-            np.unique(
-                np.concatenate(
-                    [self._buckets[j][int(row[j])] for j in range(self.bands)]
-                )
-            )
-            for row in unique_rows
-        ]
+            self._store_neighbours(band_keys, [runs])
 
     # ------------------------------------------------------------------
-    # queries
+    # layout hooks
     # ------------------------------------------------------------------
 
-    def candidate_items(self, item: int) -> np.ndarray:
-        """All items sharing at least one bucket with ``item`` (incl. itself)."""
-        self._check_built()
-        if self._group_neighbours is not None:
-            assert self._group_of is not None
-            return self._group_neighbours[self._group_of[item]]
-        assert self._band_keys is not None and self._buckets is not None
-        merged = np.concatenate(
-            [self._buckets[j][int(self._band_keys[item, j])] for j in range(self.bands)]
-        )
-        return np.unique(merged)
+    def _is_built(self) -> bool:
+        return self._tables is not None
 
-    def candidate_clusters(self, item: int) -> np.ndarray:
-        """The paper's shortlist: distinct clusters of the item's neighbours."""
-        self._check_built()
-        assert self._assignments is not None
-        return np.unique(self._assignments[self.candidate_items(item)])
-
-    def candidate_clusters_for_signature(self, signature: np.ndarray) -> np.ndarray:
-        """Shortlist for a *novel* (un-indexed) signature.
-
-        Used at predict time for unseen items.  Unlike
-        :meth:`candidate_clusters`, the result may be empty if the new
-        signature collides with nothing.
-        """
-        self._check_built()
-        assert self._buckets is not None and self._assignments is not None
-        signature = np.asarray(signature)
-        if signature.ndim == 1:
-            signature = signature[None, :]
-        keys = compute_band_keys(signature, self.bands, self.rows)[0]
-        hits = [
-            self._buckets[j].get(int(keys[j]))
-            for j in range(self.bands)
-        ]
-        hits = [h for h in hits if h is not None]
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(self._assignments[np.concatenate(hits)])
-
-    # ------------------------------------------------------------------
-    # incremental insertion (streaming extension)
-    # ------------------------------------------------------------------
-
-    def insert(self, signature: np.ndarray, cluster: int) -> int:
-        """Add one new item to the index and return its item id.
-
-        Supports the streaming extension (the paper's Further Work):
-        late-arriving items are hashed into the existing buckets with
-        their cluster reference, making them visible to subsequent
-        queries.  Requires ``precompute_neighbours=False`` — grouped
-        neighbour lists are frozen at build time and cannot absorb
-        inserts.
-
-        Parameters
-        ----------
-        signature:
-            ``(bands * rows,)`` signature of the new item.
-        cluster:
-            The cluster reference to store for it.
-        """
-        self._check_built()
-        if self._group_neighbours is not None:
-            raise ConfigurationError(
-                "insert requires precompute_neighbours=False; grouped "
-                "neighbour lists cannot absorb new items"
-            )
-        assert (
-            self._band_keys is not None
-            and self._buckets is not None
-            and self._assignments is not None
-        )
-        signature = np.asarray(signature)
-        if signature.ndim != 1:
-            raise DataValidationError(
-                f"signature must be 1-D, got ndim={signature.ndim}"
-            )
-        keys = compute_band_keys(signature[None, :], self.bands, self.rows)[0]
-        item = len(self._band_keys)
-        self._band_keys = np.vstack([self._band_keys, keys[None, :]])
-        self._assignments = np.append(self._assignments, np.int64(cluster))
+    def _bucket_hits(self, keys: np.ndarray) -> list[np.ndarray]:
+        assert self._tables is not None and self._fill is not None
+        hits: list[np.ndarray] = []
         for j in range(self.bands):
-            bucket = self._buckets[j].get(int(keys[j]))
-            if bucket is None:
-                self._buckets[j][int(keys[j])] = np.array([item], dtype=np.int64)
-            else:
-                self._buckets[j][int(keys[j])] = np.append(bucket, np.int64(item))
-        return item
-
-    # ------------------------------------------------------------------
-    # cluster-reference updates
-    # ------------------------------------------------------------------
-
-    def update_assignment(self, item: int, cluster: int) -> None:
-        """O(1) rewrite of one item's cluster reference."""
-        self._check_built()
-        assert self._assignments is not None
-        self._assignments[item] = cluster
-
-    def set_assignments(self, assignments: np.ndarray) -> None:
-        """Bulk-replace every cluster reference (used between iterations)."""
-        self._check_built()
-        assert self._assignments is not None
-        assignments = np.asarray(assignments, dtype=np.int64)
-        if assignments.shape != self._assignments.shape:
-            raise DataValidationError(
-                f"expected shape {self._assignments.shape}, got {assignments.shape}"
+            members = self._bucket_members(
+                self._tables[j], self._fill[j], int(keys[j])
             )
-        self._assignments = assignments.copy()
+            if members is not None:
+                hits.append(members)
+        return hits
 
-    @property
-    def assignments(self) -> np.ndarray:
-        """A copy of the current cluster references."""
-        self._check_built()
-        assert self._assignments is not None
-        return self._assignments.copy()
+    def _insert_into_buckets(self, keys: np.ndarray, item: int) -> None:
+        assert self._tables is not None and self._fill is not None
+        for j in range(self.bands):
+            self._bucket_append(self._tables[j], self._fill[j], int(keys[j]), item)
 
-    def assignments_view(self) -> np.ndarray:
-        """The *live* cluster-reference array (no copy).
-
-        Intended for the inner fitting loops of this library: writing
-        ``view[i] = c`` is equivalent to :meth:`update_assignment` and
-        is immediately visible to :meth:`candidate_clusters`.  Treat as
-        an internal fast path; external callers should prefer the safe
-        methods.
-        """
-        self._check_built()
-        assert self._assignments is not None
-        return self._assignments
-
-    def neighbour_groups(self) -> tuple[np.ndarray, list[np.ndarray]] | None:
-        """Grouped neighbour lists: ``(group_of, group_neighbours)``.
-
-        ``group_neighbours[group_of[i]]`` is item ``i``'s neighbour
-        list; items with identical band keys share one list.  Returns
-        ``None`` when the index was built with
-        ``precompute_neighbours=False``; callers must then go through
-        :meth:`candidate_items`.
-        """
-        self._check_built()
-        if self._group_of is None or self._group_neighbours is None:
-            return None
-        return self._group_of, self._group_neighbours
-
-    # ------------------------------------------------------------------
-    # diagnostics
-    # ------------------------------------------------------------------
-
-    @property
-    def n_items(self) -> int:
-        self._check_built()
-        assert self._band_keys is not None
-        return len(self._band_keys)
-
-    @property
-    def band_keys(self) -> np.ndarray:
-        """The ``(n_items, bands)`` bucket-key matrix (live, do not mutate).
-
-        Together with the assignments this is sufficient to rebuild the
-        index (:meth:`from_band_keys`), which is how fitted models are
-        persisted without storing raw signatures.
-        """
-        self._check_built()
-        assert self._band_keys is not None
-        return self._band_keys
-
-    def stats(self) -> IndexStats:
-        """Bucket- and neighbour-level summary statistics."""
-        self._check_built()
-        assert self._buckets is not None
-        sizes = np.array(
-            [len(members) for band in self._buckets for members in band.values()],
+    def _bucket_sizes(self) -> np.ndarray:
+        assert self._tables is not None and self._fill is not None
+        return np.array(
+            [
+                len(self._bucket_members(table, fill, key))
+                for table, fill in zip(self._tables, self._fill)
+                for key in table
+            ],
             dtype=np.int64,
         )
-        if self._group_of is not None and self._group_neighbours is not None:
-            lengths = np.array(
-                [len(group) for group in self._group_neighbours], dtype=np.int64
-            )
-            mean_nb = float(lengths[self._group_of].mean())
-        else:
-            mean_nb = float("nan")
-        return IndexStats(
-            n_items=self.n_items,
-            bands=self.bands,
-            rows=self.rows,
-            n_buckets=int(len(sizes)),
-            mean_bucket_size=float(sizes.mean()) if sizes.size else 0.0,
-            max_bucket_size=int(sizes.max()) if sizes.size else 0,
-            mean_neighbours=mean_nb,
-        )
-
-    def _check_built(self) -> None:
-        if self._buckets is None:
-            raise NotFittedError(
-                "index not built; call build(signatures, assignments) first"
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        built = self._buckets is not None
         return (
             f"ClusteredLSHIndex(bands={self.bands}, rows={self.rows}, "
-            f"built={built})"
+            f"built={self._is_built()})"
         )

@@ -54,6 +54,17 @@ class TestMHKModesRoundTrip:
         loaded = load_model(save_model(model, tmp_path / "model"))
         assert np.array_equal(loaded.predict(novel.X), model.predict(novel.X))
 
+    def test_neighbour_csr_survives_reload(self, categorical, tmp_path):
+        # band keys fully determine the flat CSR neighbour storage, so
+        # the reloaded index must reproduce it array for array
+        model = MHKModes(n_clusters=8, bands=8, rows=2, seed=7).fit(categorical.X)
+        loaded = load_model(save_model(model, tmp_path / "model"))
+        original = model.index_.neighbour_csr()
+        rebuilt = loaded.index_.neighbour_csr()
+        assert original is not None and rebuilt is not None
+        for left, right in zip(original, rebuilt):
+            assert np.array_equal(left, right)
+
     def test_sharded_parallel_fit_reloads_and_predicts(
         self, categorical, novel, tmp_path
     ):

@@ -1,0 +1,209 @@
+"""Conformance suite for the shared clustered-index surface.
+
+:class:`~repro.lsh.index.ClusteredLSHIndex` and
+:class:`~repro.engine.ShardedClusteredLSHIndex` inherit one
+assignment/insert/query implementation from
+:class:`~repro.lsh.index.BaseClusteredIndex`; this suite runs the same
+behavioural contract against every layout (unsharded plus several
+shard counts) so the two classes cannot drift apart again.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import ShardedClusteredLSHIndex
+from repro.exceptions import ConfigurationError
+from repro.lsh.index import BaseClusteredIndex, ClusteredLSHIndex
+from repro.lsh.minhash import MinHasher
+from repro.lsh.tokens import TokenSets
+
+BANDS, ROWS = 4, 3
+
+FACTORIES = [
+    pytest.param(lambda **kw: ClusteredLSHIndex(BANDS, ROWS, **kw), id="unsharded"),
+    pytest.param(
+        lambda **kw: ShardedClusteredLSHIndex(BANDS, ROWS, n_shards=1, **kw),
+        id="sharded-1",
+    ),
+    pytest.param(
+        lambda **kw: ShardedClusteredLSHIndex(BANDS, ROWS, n_shards=3, **kw),
+        id="sharded-3",
+    ),
+    pytest.param(
+        lambda **kw: ShardedClusteredLSHIndex(BANDS, ROWS, n_shards=7, **kw),
+        id="sharded-7",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def signatures():
+    rng = np.random.default_rng(42)
+    items = [
+        rng.choice(150, size=rng.integers(3, 9), replace=False) for _ in range(80)
+    ]
+    return MinHasher(n_hashes=BANDS * ROWS, seed=6).signatures(
+        TokenSets.from_lists(items)
+    )
+
+
+@pytest.fixture(scope="module")
+def assignments():
+    return np.random.default_rng(3).integers(0, 9, 80).astype(np.int64)
+
+
+@pytest.fixture
+def reference(signatures, assignments):
+    return ClusteredLSHIndex(BANDS, ROWS).build(signatures, assignments)
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+class TestSharedQuerySurface:
+    def test_is_base_subclass(self, factory):
+        assert isinstance(factory(), BaseClusteredIndex)
+
+    def test_candidates_match_reference(
+        self, factory, signatures, assignments, reference
+    ):
+        index = factory().build(signatures, assignments)
+        for item in range(len(assignments)):
+            assert np.array_equal(
+                index.candidate_items(item), reference.candidate_items(item)
+            )
+            assert np.array_equal(
+                index.candidate_clusters(item), reference.candidate_clusters(item)
+            )
+
+    def test_candidates_sorted_unique(self, factory, signatures, assignments):
+        index = factory().build(signatures, assignments)
+        for item in range(len(assignments)):
+            candidates = index.candidate_items(item)
+            assert np.array_equal(candidates, np.unique(candidates))
+
+    def test_neighbour_csr_consistent_with_candidates(
+        self, factory, signatures, assignments
+    ):
+        index = factory().build(signatures, assignments)
+        csr = index.neighbour_csr()
+        assert csr is not None
+        group_of, indptr, indices = csr
+        assert len(group_of) == len(assignments)
+        assert np.all(np.diff(indptr) >= 0)
+        assert indptr[-1] == len(indices)
+        for item in range(len(assignments)):
+            group = group_of[item]
+            span = indices[indptr[group] : indptr[group + 1]]
+            assert item in span
+            assert np.array_equal(span, index.candidate_items(item))
+
+    def test_batched_signature_shortlists_match_per_item(
+        self, factory, signatures, assignments
+    ):
+        index = factory().build(signatures, assignments)
+        rng = np.random.default_rng(11)
+        # mix of indexed signatures (non-empty shortlists) and noise
+        # signatures that collide with nothing (empty rows)
+        noise = MinHasher(n_hashes=BANDS * ROWS, seed=6).signatures(
+            TokenSets.from_lists(
+                [rng.integers(5_000, 9_000, size=4) for _ in range(10)]
+            )
+        )
+        probes = np.vstack([signatures[:25], noise])
+        indptr, clusters = index.shortlists_for_signatures(probes)
+        assert len(indptr) == len(probes) + 1
+        saw_empty = False
+        for row in range(len(probes)):
+            expected = index.candidate_clusters_for_signature(probes[row])
+            got = clusters[indptr[row] : indptr[row + 1]]
+            saw_empty = saw_empty or expected.size == 0
+            assert np.array_equal(got, expected)
+        assert saw_empty, "probe set should exercise empty shortlists"
+
+    def test_assignment_updates_shared_semantics(
+        self, factory, signatures, assignments
+    ):
+        index = factory().build(signatures, assignments)
+        index.update_assignment(0, 77)
+        assert index.assignments[0] == 77
+        assert 77 in index.candidate_clusters(0)
+        view = index.assignments_view()
+        view[1] = 78
+        assert index.assignments[1] == 78
+        copied = index.assignments
+        copied[:] = -5
+        assert index.assignments[2] == assignments[2]
+
+    def test_from_band_keys_round_trip(self, factory, signatures, assignments):
+        built = factory().build(signatures, assignments)
+        rebuilt = type(built).from_band_keys(
+            BANDS, ROWS, built.band_keys, assignments
+        )
+        for item in range(len(assignments)):
+            assert np.array_equal(
+                rebuilt.candidate_items(item), built.candidate_items(item)
+            )
+
+    def test_stats_layout_invariant(self, factory, signatures, assignments, reference):
+        stats = factory().build(signatures, assignments).stats()
+        ref = reference.stats()
+        assert stats.n_items == ref.n_items
+        assert stats.mean_neighbours == ref.mean_neighbours
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+class TestInsertSurface:
+    def test_insert_rejected_with_precomputed_neighbours(
+        self, factory, signatures, assignments
+    ):
+        index = factory().build(signatures, assignments)
+        with pytest.raises(ConfigurationError):
+            index.insert(signatures[0], cluster=1)
+
+    def test_streamed_inserts_grow_and_answer_queries(
+        self, factory, signatures, assignments
+    ):
+        index = factory(precompute_neighbours=False).build(signatures, assignments)
+        n = len(assignments)
+        n_inserts = 300
+        for i in range(n_inserts):
+            item = index.insert(signatures[i % n], cluster=100 + (i % 5))
+            assert item == n + i
+        assert index.n_items == n + n_inserts
+        assert index.band_keys.shape == (n + n_inserts, BANDS)
+        assert len(index.assignments_view()) == n + n_inserts
+        # every original item's clone cohort is visible through queries
+        for item in range(5):
+            candidates = index.candidate_items(item)
+            clusters = index.candidate_clusters(item)
+            assert n + item in candidates  # clone of item shares all buckets
+            assert 100 + (item % 5) in clusters
+        # inserted items answer queries about themselves
+        for i in range(3):
+            assert n + i in index.candidate_items(n + i)
+
+    def test_insert_growth_matches_incremental_reference(
+        self, factory, signatures, assignments
+    ):
+        """Doubling buffers must not change what queries see."""
+        grown = factory(precompute_neighbours=False).build(signatures, assignments)
+        for i in range(40):
+            grown.insert(signatures[(7 * i) % len(assignments)], cluster=50 + i)
+        # reference: an index built directly over the final key matrix
+        reference = ClusteredLSHIndex.from_band_keys(
+            BANDS,
+            ROWS,
+            np.ascontiguousarray(grown.band_keys),
+            grown.assignments,
+            precompute_neighbours=False,
+        )
+        for item in range(grown.n_items):
+            assert np.array_equal(
+                grown.candidate_items(item), reference.candidate_items(item)
+            )
+
+    def test_set_assignments_after_inserts(self, factory, signatures, assignments):
+        index = factory(precompute_neighbours=False).build(signatures, assignments)
+        index.insert(signatures[0], cluster=9)
+        new = np.arange(index.n_items, dtype=np.int64)
+        index.set_assignments(new)
+        assert np.array_equal(index.assignments, new)

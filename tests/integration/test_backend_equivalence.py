@@ -144,6 +144,7 @@ class TestSemanticsGuards:
         X, initial = categorical
         model = _fit_kmodes(X, initial, "thread", 2)
         assert set(model.stats_.phase_s) == {
+            "session_open",
             "exhaustive_assign",
             "signatures",
             "index_build",
