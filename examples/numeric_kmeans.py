@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from repro import KMeans, LSHKMeans, MiniBatchKMeans, adjusted_rand_index
+from repro.api import LSHSpec, TrainSpec
 
 
 def make_blobs(n_clusters: int, n_points: int, dim: int, seed: int):
@@ -40,15 +41,17 @@ def main() -> None:
         (
             "LSH-K-Means pstable 16b4r",
             LSHKMeans(
-                n_clusters=k, bands=16, rows=4, family="pstable", width=6.0,
-                max_iter=25, seed=11,
+                n_clusters=k,
+                lsh=LSHSpec(family="pstable", bands=16, rows=4, width=6.0, seed=11),
+                train=TrainSpec(max_iter=25),
             ),
         ),
         (
             "LSH-K-Means simhash 16b4r",
             LSHKMeans(
-                n_clusters=k, bands=16, rows=4, family="simhash",
-                max_iter=25, seed=11,
+                n_clusters=k,
+                lsh=LSHSpec(family="simhash", bands=16, rows=4, seed=11),
+                train=TrainSpec(max_iter=25),
             ),
         ),
         (

@@ -17,6 +17,7 @@ Run:  python examples/parameter_tuning.py
 import numpy as np
 
 from repro import MHKModes, RuleBasedGenerator, cluster_purity, suggest_bands_rows
+from repro.api import LSHSpec, TrainSpec
 from repro.core.error_bound import (
     candidate_pair_probability,
     cluster_recall_probability,
@@ -76,12 +77,11 @@ def tune_and_verify() -> None:
     data = RuleBasedGenerator(
         n_clusters=300, n_attributes=60, noise_rate=0.1, seed=3
     ).generate(2_400)
+    # The recommendation drops straight into an LSHSpec — the tuned
+    # banding is data, not keyword soup.
+    spec = LSHSpec(bands=recommendation.bands, rows=recommendation.rows, seed=3)
     model = MHKModes(
-        n_clusters=300,
-        bands=recommendation.bands,
-        rows=recommendation.rows,
-        max_iter=12,
-        seed=3,
+        n_clusters=300, lsh=spec, train=TrainSpec(max_iter=12)
     ).fit(data.X)
     print(
         f"  fitted {model.stats_.algorithm}: "

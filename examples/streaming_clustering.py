@@ -20,6 +20,7 @@ import time
 import numpy as np
 
 from repro import MHKModes, RuleBasedGenerator, StreamingMHKModes, cluster_purity
+from repro.api import LSHSpec, TrainSpec
 
 
 def main() -> None:
@@ -31,7 +32,11 @@ def main() -> None:
 
     # Reference: batch clustering of the full dataset.
     start = time.perf_counter()
-    batch = MHKModes(n_clusters=k, bands=20, rows=3, max_iter=15, seed=21)
+    batch = MHKModes(
+        n_clusters=k,
+        lsh=LSHSpec(bands=20, rows=3, seed=21),
+        train=TrainSpec(max_iter=15),
+    )
     batch.fit(data.X)
     batch_time = time.perf_counter() - start
     batch_purity = cluster_purity(batch.labels_, data.labels)
@@ -43,7 +48,9 @@ def main() -> None:
     for bootstrap_fraction in (0.6, 0.2):
         split = int(len(data.X) * bootstrap_fraction)
         stream = StreamingMHKModes(
-            n_clusters=k, bands=20, rows=3, seed=21, refresh_interval=250
+            n_clusters=k,
+            lsh=LSHSpec(bands=20, rows=3, seed=21),
+            refresh_interval=250,
         )
         start = time.perf_counter()
         stream.bootstrap(data.X[:split])

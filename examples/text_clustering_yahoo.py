@@ -23,6 +23,7 @@ from repro import (
     cluster_purity,
     corpus_to_dataset,
 )
+from repro.api import LSHSpec, TrainSpec
 
 
 def run_threshold(corpus, threshold: float) -> None:
@@ -42,7 +43,10 @@ def run_threshold(corpus, threshold: float) -> None:
     # 1 band x 1 row: the cheapest possible index — the configuration
     # the paper found most efficient on this workload (Figure 10b).
     fast = MHKModes(
-        n_clusters=n_topics, bands=1, rows=1, max_iter=8, seed=1, absent_code=0
+        n_clusters=n_topics,
+        lsh=LSHSpec(bands=1, rows=1, seed=1),
+        train=TrainSpec(max_iter=8),
+        absent_code=0,
     )
     fast.fit(dataset.X, initial_centroids=initial)
 

@@ -16,27 +16,47 @@ owned by an item's hash neighbours.
 Quick start::
 
     import numpy as np
-    from repro import MHKModes, KModes, RuleBasedGenerator, cluster_purity
+    from repro import KModes, MHKModes, RuleBasedGenerator, cluster_purity
+    from repro.api import LSHSpec
 
     data = RuleBasedGenerator(n_clusters=500, n_attributes=60, seed=0).generate(5_000)
-    fast = MHKModes(n_clusters=500, bands=20, rows=5, seed=0).fit(data.X)
+    fast = MHKModes(n_clusters=500, lsh=LSHSpec(bands=20, rows=5, seed=0)).fit(data.X)
     exact = KModes(n_clusters=500, seed=0).fit(data.X)
     print(cluster_purity(fast.labels_, data.labels),
           cluster_purity(exact.labels_, data.labels))
 
+    model = fast.fitted_model()        # immutable ClusterModel artifact
+    model.save("model")                # npz + json sidecar; serves predict
+                                       # without the training estimator
+
 Package map — each subpackage is documented in its own ``__init__``:
 
+* :mod:`repro.api` — spec-driven estimator API: typed config objects
+  (:class:`LSHSpec` / :class:`EngineSpec` / :class:`TrainSpec`), the
+  shared estimator protocol (``get_params``/``set_params``/``clone``),
+  the :func:`make_estimator` registry and the immutable fitted
+  :class:`ClusterModel` artifact
 * :mod:`repro.core` — MH-K-Modes and the generic acceleration framework
 * :mod:`repro.kmodes` — exhaustive K-Modes baseline
 * :mod:`repro.kmeans` — K-Means / mini-batch / LSH-K-Means (numeric extension)
 * :mod:`repro.lsh` — MinHash, banding, the clustered index, SimHash, p-stable
 * :mod:`repro.engine` — serial/thread/process execution backends and the
-  sharded index powering parallel fits (``backend=`` / ``n_jobs=``)
+  sharded index powering parallel fits (``EngineSpec`` / ``backend=``)
 * :mod:`repro.data` — datgen clone, Yahoo-like corpus, TF-IDF pipeline, I/O
 * :mod:`repro.metrics` — purity, NMI, ARI, Jaccard
 * :mod:`repro.experiments` — configs/runner/reports for every paper figure
 * :mod:`repro.instrumentation` — per-iteration statistics
 """
+
+from repro.api import (
+    ClusterModel,
+    EngineSpec,
+    EstimatorProtocol,
+    LSHSpec,
+    TrainSpec,
+    available_estimators,
+    make_estimator,
+)
 
 from repro.core import (
     MHKModes,
@@ -53,6 +73,7 @@ from repro.data import (
     RuleBasedGenerator,
     YahooAnswersSynthesizer,
     corpus_to_dataset,
+    load_cluster_model,
     load_model,
     save_model,
 )
@@ -71,6 +92,7 @@ from repro.exceptions import (
     EmptyClusterError,
     NotFittedError,
     ReproError,
+    check_fitted,
 )
 from repro.kmeans import KMeans, LSHKMeans, MiniBatchKMeans
 from repro.kmodes import FuzzyKModes, KModes
@@ -86,6 +108,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # spec-driven API
+    "LSHSpec",
+    "EngineSpec",
+    "TrainSpec",
+    "ClusterModel",
+    "EstimatorProtocol",
+    "make_estimator",
+    "available_estimators",
     # core
     "MHKModes",
     "error_bound",
@@ -119,6 +149,7 @@ __all__ = [
     "CategoricalEncoder",
     "save_model",
     "load_model",
+    "load_cluster_model",
     # metrics
     "cluster_purity",
     "normalized_mutual_information",
@@ -131,4 +162,5 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "EmptyClusterError",
+    "check_fitted",
 ]

@@ -1,0 +1,76 @@
+"""Spec-driven estimator API.
+
+The declarative layer over the whole library:
+
+* :mod:`repro.api.specs` — frozen, validated config objects
+  (:class:`LSHSpec`, :class:`EngineSpec`, :class:`TrainSpec`) with
+  ``replace`` / ``to_dict`` / ``from_dict`` round-tripping;
+* :mod:`repro.api.protocol` — the :class:`EstimatorProtocol` mixin
+  every estimator shares (``get_params`` / ``set_params`` / ``clone``
+  / non-default ``repr``);
+* :mod:`repro.api.registry` — named construction via
+  :func:`make_estimator`;
+* :mod:`repro.api.model` — the immutable fitted
+  :class:`ClusterModel` artifact that serves ``predict`` without the
+  training estimator;
+* :mod:`repro.api.legacy` — the deprecation shim keeping the old flat
+  kwargs working (one :class:`DeprecationWarning` per legacy kwarg,
+  identical labels guaranteed).
+
+Quick start::
+
+    from repro.api import EngineSpec, LSHSpec, TrainSpec, make_estimator
+
+    model = make_estimator(
+        "mh-kmodes",
+        n_clusters=500,
+        lsh=LSHSpec(bands=20, rows=5, seed=0),
+        engine=EngineSpec(backend="process", n_jobs=4),
+        train=TrainSpec(max_iter=30),
+    )
+    artifact = model.fit(X).fitted_model()   # immutable ClusterModel
+    artifact.save("model")                   # npz + json sidecar
+"""
+
+from repro.api.legacy import LEGACY_PARAMETER_MAP, resolve_specs
+from repro.api.model import ClusterModel
+from repro.api.protocol import EstimatorProtocol
+from repro.api.registry import (
+    available_estimators,
+    get_estimator_class,
+    make_estimator,
+    register_estimator,
+)
+from repro.api.specs import (
+    BACKEND_NAMES,
+    EMPTY_CLUSTER_POLICIES,
+    LSH_FAMILIES,
+    PREDICT_FALLBACK_POLICIES,
+    START_METHODS,
+    UPDATE_REFS_MODES,
+    EngineSpec,
+    LSHSpec,
+    Spec,
+    TrainSpec,
+)
+
+__all__ = [
+    "Spec",
+    "LSHSpec",
+    "EngineSpec",
+    "TrainSpec",
+    "LSH_FAMILIES",
+    "BACKEND_NAMES",
+    "START_METHODS",
+    "UPDATE_REFS_MODES",
+    "EMPTY_CLUSTER_POLICIES",
+    "PREDICT_FALLBACK_POLICIES",
+    "EstimatorProtocol",
+    "ClusterModel",
+    "make_estimator",
+    "get_estimator_class",
+    "available_estimators",
+    "register_estimator",
+    "LEGACY_PARAMETER_MAP",
+    "resolve_specs",
+]

@@ -1,0 +1,321 @@
+"""Typed, validated, immutable configuration specs.
+
+Every LSH-accelerated estimator in the library is configured by the
+same three groups of knobs, and before this module each estimator
+re-declared all of them as flat keyword arguments.  The specs make the
+groups first class:
+
+* :class:`LSHSpec` — the hash-family and banding parameters the LSH
+  survey literature treats as *the* declarative description of an
+  index (family, bands, rows, quantisation width, seed);
+* :class:`EngineSpec` — where a fit executes (backend, workers,
+  shards, chunking, process start method);
+* :class:`TrainSpec` — how the clustering loop behaves (initialisation,
+  iteration cap, reference-update mode, empty-cluster policy, cost
+  tracking, predict fallback).
+
+Specs are frozen dataclasses: they validate eagerly at construction,
+compare by value, hash, round-trip through plain dicts
+(:meth:`~Spec.to_dict` / :meth:`~Spec.from_dict` — and therefore
+through JSON), and derive modified copies with :meth:`~Spec.replace`.
+Their ``repr`` shows only non-default fields, so a default spec prints
+as ``LSHSpec()`` and a tuned one shows exactly what was tuned.
+
+Examples
+--------
+>>> LSHSpec(bands=8, rows=2)
+LSHSpec(bands=8, rows=2)
+>>> LSHSpec()
+LSHSpec()
+>>> LSHSpec(bands=8, rows=2).replace(seed=7)
+LSHSpec(bands=8, rows=2, seed=7)
+>>> EngineSpec.from_dict({"backend": "thread", "n_jobs": 2})
+EngineSpec(backend='thread', n_jobs=2)
+>>> TrainSpec(max_iter=20).to_dict()["max_iter"]
+20
+>>> LSHSpec(bands=0)
+Traceback (most recent call last):
+    ...
+repro.exceptions.ConfigurationError: bands must be a positive integer, got 0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "LSH_FAMILIES",
+    "BACKEND_NAMES",
+    "START_METHODS",
+    "UPDATE_REFS_MODES",
+    "EMPTY_CLUSTER_POLICIES",
+    "PREDICT_FALLBACK_POLICIES",
+    "Spec",
+    "LSHSpec",
+    "EngineSpec",
+    "TrainSpec",
+]
+
+#: LSH families the library implements (MinHash for categorical data,
+#: SimHash / p-stable projections for numeric data).
+LSH_FAMILIES = ("minhash", "simhash", "pstable")
+
+#: Execution backends (mirrors ``repro.engine.backends.BACKEND_NAMES``;
+#: duplicated here so the spec layer stays import-light and cycle-free).
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Multiprocessing start methods a spec may request; availability on
+#: the current platform is checked when the engine is actually built.
+START_METHODS = ("fork", "spawn", "forkserver")
+
+#: Cluster-reference update modes of the framework loop.
+UPDATE_REFS_MODES = ("online", "batch")
+
+#: Empty-cluster policies of the centroid update.
+EMPTY_CLUSTER_POLICIES = ("keep", "reinit", "error")
+
+#: Policies when a novel item's shortlist is empty at predict time
+#: (mirrors ``repro.core.shortlist.FALLBACK_POLICIES``).
+PREDICT_FALLBACK_POLICIES = ("full", "error")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _require_choice(value, name: str, choices: tuple, optional: bool = False) -> None:
+    if optional and value is None:
+        return
+    _require(value in choices, f"{name} must be one of {choices}, got {value!r}")
+
+
+def _require_positive(value, name: str, optional: bool = False) -> None:
+    if optional and value is None:
+        return
+    _require(
+        isinstance(value, int) and not isinstance(value, bool) and value > 0,
+        f"{name} must be a positive integer, got {value!r}",
+    )
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Base class giving every spec the same immutable-value protocol."""
+
+    def __post_init__(self) -> None:
+        # Normalise numpy scalars to their Python equivalents first:
+        # values like np.int64 (the natural output of rng.integers or
+        # an np.arange sweep) were accepted by the pre-spec flat API
+        # and must keep working — and to_dict() must stay JSON-safe.
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, np.bool_):
+                object.__setattr__(self, spec_field.name, bool(value))
+            elif isinstance(value, np.integer):
+                object.__setattr__(self, spec_field.name, int(value))
+            elif isinstance(value, np.floating):
+                object.__setattr__(self, spec_field.name, float(value))
+        self.validate()
+
+    def validate(self) -> None:
+        """Check field values; subclasses override.  Runs at construction."""
+
+    def replace(self, **changes) -> "Spec":
+        """A copy with some fields replaced (re-validated).
+
+        >>> TrainSpec().replace(max_iter=5)
+        TrainSpec(max_iter=5)
+        """
+        unknown = set(changes) - {f.name for f in fields(self)}
+        if unknown:
+            raise ConfigurationError(
+                f"{type(self).__name__} has no field(s) {sorted(unknown)}; "
+                f"fields are {[f.name for f in fields(self)]}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable; round-trips ``from_dict``)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Spec":
+        """Rebuild a spec from :meth:`to_dict` output (validated).
+
+        Unknown keys fail loudly so a typo in a JSON spec file cannot
+        silently fall back to a default.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{cls.__name__}.from_dict needs a dict, got {type(data).__name__}"
+            )
+        unknown = set(data) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.__name__} field(s) {sorted(unknown)}; "
+                f"fields are {[f.name for f in fields(cls)]}"
+            )
+        return cls(**data)
+
+    def non_default_fields(self) -> dict:
+        """Fields whose value differs from the dataclass default."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != f.default
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value!r}" for name, value in self.non_default_fields().items()
+        )
+        return f"{type(self).__name__}({inner})"
+
+
+@dataclass(frozen=True, repr=False)
+class LSHSpec(Spec):
+    """Declarative description of the banded LSH index.
+
+    Parameters
+    ----------
+    family:
+        ``'minhash'`` (categorical, Jaccard), ``'simhash'`` (numeric,
+        cosine) or ``'pstable'`` (numeric, Euclidean).
+    bands, rows:
+        Banding parameters; the signature width is ``bands * rows``.
+    width:
+        Quantisation width of the p-stable family (ignored otherwise).
+    seed:
+        Seeds both centroid initialisation and the hash functions (the
+        hashing stream is decoupled internally so fixing initial
+        centroids across variants does not change hashes).
+    """
+
+    family: str = "minhash"
+    bands: int = 20
+    rows: int = 5
+    width: float = 4.0
+    seed: int | None = None
+
+    def validate(self) -> None:
+        _require_choice(self.family, "family", LSH_FAMILIES)
+        _require_positive(self.bands, "bands")
+        _require_positive(self.rows, "rows")
+        _require(
+            isinstance(self.width, (int, float))
+            and not isinstance(self.width, bool)
+            and self.width > 0,
+            f"width must be positive, got {self.width}",
+        )
+        _require(
+            self.seed is None
+            or (isinstance(self.seed, int) and not isinstance(self.seed, bool)),
+            f"seed must be an int or None, got {self.seed!r}",
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class EngineSpec(Spec):
+    """Where and how a fit executes.
+
+    Parameters
+    ----------
+    backend:
+        ``'serial'`` (the paper's exact loop), ``'thread'`` or
+        ``'process'``.
+    n_jobs:
+        Worker count for parallel backends (``None``: one per CPU).
+    n_shards:
+        Index shard count (``None``: one per worker when parallel,
+        unsharded when serial; results are shard-count invariant).
+    chunk_items:
+        Row-chunk size of the exhaustive setup pass.
+    start_method:
+        Multiprocessing start method for the process backend
+        (``None``: ``'fork'`` where available, platform default
+        elsewhere).
+    """
+
+    backend: str = "serial"
+    n_jobs: int | None = None
+    n_shards: int | None = None
+    chunk_items: int = 256
+    start_method: str | None = None
+
+    def validate(self) -> None:
+        _require_choice(self.backend, "backend", BACKEND_NAMES)
+        _require_positive(self.n_jobs, "n_jobs", optional=True)
+        _require_positive(self.n_shards, "n_shards", optional=True)
+        _require_positive(self.chunk_items, "chunk_items")
+        _require_choice(
+            self.start_method, "start_method", START_METHODS, optional=True
+        )
+        if self.start_method is not None and self.backend != "process":
+            raise ConfigurationError(
+                "start_method applies to backend='process' only, got "
+                f"backend={self.backend!r} with start_method="
+                f"{self.start_method!r}"
+            )
+
+
+@dataclass(frozen=True, repr=False)
+class TrainSpec(Spec):
+    """How the clustering loop behaves.
+
+    Parameters
+    ----------
+    init:
+        Centroid initialisation strategy.  Validated against the
+        estimator's supported set at estimator construction (K-Modes
+        understands ``'random'``/``'huang'``/``'cao'``, LSH-K-Means
+        only ``'random'``).
+    max_iter:
+        Cap on shortlist iterations (the setup pass is not counted).
+    update_refs:
+        ``'online'`` (paper semantics, serial only), ``'batch'``
+        (vectorised pass, any backend), or ``None`` — resolved to
+        ``'online'`` on serial and ``'batch'`` on parallel backends.
+    empty_cluster_policy:
+        ``'keep'``, ``'reinit'`` or ``'error'`` when a cluster loses
+        all members.
+    track_cost:
+        Record the cost function each iteration.
+    predict_fallback:
+        ``'full'`` (exact scan) or ``'error'`` when a novel item's
+        shortlist is empty at predict time.
+    """
+
+    init: str = "random"
+    max_iter: int = 100
+    update_refs: str | None = None
+    empty_cluster_policy: str = "keep"
+    track_cost: bool = True
+    predict_fallback: str = "full"
+
+    def validate(self) -> None:
+        _require(
+            isinstance(self.init, str) and bool(self.init),
+            f"init must be a non-empty string, got {self.init!r}",
+        )
+        _require_positive(self.max_iter, "max_iter")
+        _require_choice(
+            self.update_refs, "update_refs", UPDATE_REFS_MODES, optional=True
+        )
+        _require_choice(
+            self.empty_cluster_policy,
+            "empty_cluster_policy",
+            EMPTY_CLUSTER_POLICIES,
+        )
+        _require(
+            isinstance(self.track_cost, bool),
+            f"track_cost must be a bool, got {self.track_cost!r}",
+        )
+        _require_choice(
+            self.predict_fallback, "predict_fallback", PREDICT_FALLBACK_POLICIES
+        )

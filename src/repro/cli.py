@@ -5,9 +5,13 @@ Four subcommands mirror the library's workflow:
 * ``generate`` — materialise a synthetic dataset (datgen-style or
   Yahoo-style) to disk;
 * ``cluster`` — run K-Modes or MH-K-Modes on a saved dataset and
-  print the per-phase and per-iteration statistics; ``--backend``,
-  ``--jobs`` and ``--shards`` select the execution engine, and
-  ``--save`` persists the fitted model (npz + json sidecar);
+  print the per-phase and per-iteration statistics; ``--spec`` loads
+  an :class:`~repro.api.LSHSpec` / :class:`~repro.api.EngineSpec` /
+  :class:`~repro.api.TrainSpec` triple from a JSON file (the
+  ``to_dict`` round-trip format), individual flags — ``--bands``,
+  ``--backend``, ``--jobs``, ``--shards``, ... — override spec-file
+  fields, and ``--save`` persists the fitted model (npz + json
+  sidecar);
 * ``compare`` — run a named paper experiment (fig2 … fig10) and print
   the paper-style tables (``--backend``/``--jobs`` apply to the MH
   variants);
@@ -17,8 +21,10 @@ Four subcommands mirror the library's workflow:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -51,15 +57,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("dataset", help="input .npz path")
     run.add_argument("--algorithm", choices=["kmodes", "mh-kmodes"], default="mh-kmodes")
     run.add_argument("--clusters", type=int, required=True)
-    run.add_argument("--bands", type=int, default=20)
-    run.add_argument("--rows", type=int, default=5)
-    run.add_argument("--max-iter", type=int, default=100)
+    run.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON file with 'lsh' / 'engine' / 'train' spec objects "
+            "(the repro.api to_dict format); individual flags below "
+            "override spec-file fields"
+        ),
+    )
+    run.add_argument("--bands", type=int, default=None, help="default: 20")
+    run.add_argument("--rows", type=int, default=None, help="default: 5")
+    run.add_argument("--max-iter", type=int, default=None, help="default: 100")
     run.add_argument("--absent-code", type=int, default=None)
-    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--seed", type=int, default=None, help="default: 0")
     run.add_argument(
         "--backend",
         choices=["serial", "thread", "process"],
-        default="serial",
+        default=None,
         help="execution backend for the MH engine (default: serial)",
     )
     run.add_argument(
@@ -139,6 +155,82 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_file(path: str) -> dict:
+    """Parse a ``--spec`` JSON file into its raw section dicts."""
+    from repro.exceptions import ConfigurationError
+
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"no such spec file: {path}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{path} must hold a JSON object")
+    unknown = set(data) - {"lsh", "engine", "train"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown spec section(s) {sorted(unknown)} in {path}; "
+            "expected 'lsh', 'engine', 'train'"
+        )
+    return data
+
+
+def _resolve_cluster_specs(args: argparse.Namespace):
+    """Merge ``--spec`` file values with per-flag overrides (flags win)."""
+    from repro.api import EngineSpec, LSHSpec, TrainSpec
+
+    data = _load_spec_file(args.spec) if args.spec is not None else {}
+    lsh = LSHSpec.from_dict(data.get("lsh", {}))
+    engine = EngineSpec.from_dict(data.get("engine", {}))
+    train = TrainSpec.from_dict(data.get("train", {}))
+    lsh_overrides = {
+        key: value
+        for key, value in (
+            ("bands", args.bands),
+            ("rows", args.rows),
+            ("seed", args.seed),
+        )
+        if value is not None
+    }
+    # The CLI's historic default seed is 0 (reproducible runs), not the
+    # spec default of None; it applies unless the flag or the spec file
+    # explicitly sets a seed (an explicit "seed": null in the file asks
+    # for a randomly seeded run and is honoured).
+    if "seed" not in lsh_overrides and "seed" not in data.get("lsh", {}):
+        lsh_overrides["seed"] = 0
+    engine_overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("n_jobs", args.jobs),
+            ("n_shards", args.shards),
+        )
+        if value is not None
+    }
+    # A --backend override away from 'process' drops a spec-file
+    # start_method along with the backend it configured.
+    if (
+        args.backend is not None
+        and args.backend != "process"
+        and engine.start_method is not None
+    ):
+        engine_overrides["start_method"] = None
+    train_overrides = {
+        key: value
+        for key, value in (
+            ("max_iter", args.max_iter),
+            ("update_refs", args.update_refs),
+        )
+        if value is not None
+    }
+    return (
+        lsh.replace(**lsh_overrides),
+        engine.replace(**engine_overrides),
+        train.replace(**train_overrides),
+    )
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.core import MHKModes
     from repro.data import load_dataset, save_model
@@ -146,43 +238,39 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.metrics import cluster_purity
 
     dataset = load_dataset(args.dataset)
-    if args.algorithm == "mh-kmodes" and args.backend == "serial" and args.jobs:
+    lsh, engine, train = _resolve_cluster_specs(args)
+    if args.algorithm == "mh-kmodes" and engine.backend == "serial" and engine.n_jobs:
         print(
             "warning: --jobs has no effect with the serial backend; "
             "pass --backend thread or --backend process",
             file=sys.stderr,
         )
     if args.algorithm == "kmodes":
-        if args.backend != "serial" or args.jobs is not None or args.shards is not None:
+        if engine.backend != "serial" or engine.n_jobs is not None or engine.n_shards is not None:
             print(
                 "warning: --backend/--jobs/--shards apply to mh-kmodes only; "
                 "the exhaustive kmodes baseline runs in-process",
                 file=sys.stderr,
             )
         model: KModes | MHKModes = KModes(
-            n_clusters=args.clusters, max_iter=args.max_iter, seed=args.seed
+            n_clusters=args.clusters, max_iter=train.max_iter, seed=lsh.seed
         )
     else:
         model = MHKModes(
             n_clusters=args.clusters,
-            bands=args.bands,
-            rows=args.rows,
-            max_iter=args.max_iter,
-            seed=args.seed,
+            lsh=lsh,
+            engine=engine,
+            train=train,
             absent_code=args.absent_code,
-            update_refs=args.update_refs,
-            backend=args.backend,
-            n_jobs=args.jobs,
-            n_shards=args.shards,
         )
     model.fit(dataset.X)
     assert model.stats_ is not None and model.labels_ is not None
     print(f"dataset   : {dataset.describe()}")
     print(f"algorithm : {model.stats_.algorithm}")
     if args.algorithm == "mh-kmodes":
-        jobs = args.jobs if args.jobs is not None else "auto"
+        jobs = engine.n_jobs if engine.n_jobs is not None else "auto"
         print(
-            f"engine    : backend={args.backend} jobs={jobs} "
+            f"engine    : backend={engine.backend} jobs={jobs} "
             f"update_refs={model.update_refs}"
         )
     print(f"iterations: {model.n_iter_} (converged={model.converged_})")

@@ -42,62 +42,65 @@ import abc
 
 import numpy as np
 
-from repro.core.shortlist import FALLBACK_POLICIES, ShortlistAccumulator, apply_fallback
+from repro.api.legacy import resolve_specs
+from repro.api.model import ClusterModel
+from repro.api.protocol import EstimatorProtocol, SpecAttributeSurface
+from repro.api.specs import LSH_FAMILIES, EngineSpec, LSHSpec, TrainSpec
+from repro.core.shortlist import ShortlistAccumulator, apply_fallback
 from repro.engine import (
-    BACKEND_NAMES,
     ClusteringEngine,
-    ExecutionBackend,
+    SerialBackend,
     ShardedClusteredLSHIndex,
     resolve_engine,
 )
 from repro.engine.parallel import best_shortlisted_centroids
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+    check_fitted,
+)
 from repro.instrumentation import RunStats, Timer
 from repro.lsh.index import ClusteredLSHIndex
 
 __all__ = ["BaseLSHAcceleratedClustering"]
 
 
-class BaseLSHAcceleratedClustering(abc.ABC):
+class BaseLSHAcceleratedClustering(SpecAttributeSurface, EstimatorProtocol, abc.ABC):
     """Template for centroid algorithms accelerated with a banded LSH index.
+
+    Configuration is spec-driven (see :mod:`repro.api`): the three
+    frozen spec objects fully describe a fit, and the legacy flat
+    kwargs (``bands=``, ``backend=``, ...) keep working through a
+    deprecation shim that maps them onto the same specs — identical
+    labels either way.
 
     Parameters
     ----------
     n_clusters:
         Number of clusters k.
-    bands, rows:
-        LSH banding parameters; the signature width is ``bands * rows``.
-    max_iter:
-        Cap on shortlist iterations (the setup pass is not counted).
-    seed:
-        Controls initialisation and the hash functions.
-    update_refs:
-        ``'online'`` (paper): an item's cluster reference is updated the
-        moment it moves, so later items in the same pass see it.
-        ``'batch'``: references update at the end of each pass, which
-        lets every backend — serial included — run the vectorised
-        batch pass (identical labels, far faster than the per-item
-        loop).  ``None`` (default) resolves to ``'online'`` on the
-        serial backend and ``'batch'`` on parallel backends, which
-        merge reference updates at a per-pass barrier; requesting
-        ``'online'`` together with a parallel backend is an error.
-    backend:
-        Where the engine runs the fit phases: ``'serial'`` (default,
-        the paper's exact loop), ``'thread'``, ``'process'``, or a
-        pre-built :class:`~repro.engine.ExecutionBackend`.
-    n_jobs:
-        Worker count for parallel backends (default: one per CPU).
-    n_shards:
-        Shard count of the clustered index.  ``None`` means one shard
-        per worker on parallel backends and an unsharded index on
-        serial; results are invariant to the shard count.
+    lsh:
+        :class:`~repro.api.LSHSpec` — hash family, banding (``bands``,
+        ``rows``), quantisation ``width`` and the ``seed`` controlling
+        both initialisation and hashing.  ``None``: the estimator's
+        default spec.
+    engine:
+        :class:`~repro.api.EngineSpec` — execution backend, worker
+        count, index shard count, setup chunking and process start
+        method.  ``'serial'`` (the default) reproduces the paper's
+        exact loop; results are invariant to backend and shard count.
+    train:
+        :class:`~repro.api.TrainSpec` — initialisation, ``max_iter``,
+        reference-update mode (``'online'`` per the paper on serial,
+        ``'batch'`` for the vectorised pass on any backend),
+        empty-cluster policy, cost tracking and the predict fallback.
     precompute_neighbours:
-        Forwarded to :class:`~repro.lsh.index.ClusteredLSHIndex`.
-    track_cost:
-        Record the cost function each iteration.
-    predict_fallback:
-        Policy when a *novel* item's shortlist is empty at predict
-        time: ``'full'`` (exact scan) or ``'error'``.
+        Forwarded to :class:`~repro.lsh.index.ClusteredLSHIndex`
+        (``False`` keeps the index insertable for streaming).
+    **legacy:
+        Deprecated flat kwargs, each mapped onto its spec field with a
+        :class:`DeprecationWarning`
+        (see :data:`repro.api.LEGACY_PARAMETER_MAP`).
 
     Attributes
     ----------
@@ -112,85 +115,193 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         The built :class:`~repro.lsh.index.ClusteredLSHIndex` (or
         :class:`~repro.engine.ShardedClusteredLSHIndex` when the fit
         ran sharded).
+
+    All fitted attributes raise
+    :class:`~repro.exceptions.NotFittedError` before ``fit`` completes;
+    after it, :meth:`fitted_model` exports the immutable
+    :class:`~repro.api.ClusterModel` serving artifact.
     """
+
+    #: Spec acceptance marker used by the registry/artifact layer.
+    _accepts_specs = True
+
+    #: Per-class default specs; concrete estimators override.
+    _default_lsh = LSHSpec()
+    _default_engine = EngineSpec()
+    _default_train = TrainSpec()
+
+    #: Values of ``lsh.family`` / ``train.init`` /
+    #: ``train.empty_cluster_policy`` the concrete algorithm supports.
+    _supported_families: tuple[str, ...] = LSH_FAMILIES
+    _supported_inits: tuple[str, ...] = ("random",)
+    _supported_empty_policies: tuple[str, ...] = ("keep", "reinit", "error")
 
     def __init__(
         self,
         n_clusters: int,
-        bands: int,
-        rows: int,
-        max_iter: int = 100,
-        seed: int | None = None,
-        update_refs: str | None = None,
-        backend: str | ExecutionBackend = "serial",
-        n_jobs: int | None = None,
-        n_shards: int | None = None,
+        lsh: LSHSpec | dict | None = None,
+        engine: EngineSpec | dict | None = None,
+        train: TrainSpec | dict | None = None,
         precompute_neighbours: bool = True,
-        track_cost: bool = True,
-        predict_fallback: str = "full",
+        **legacy,
     ):
+        lsh, engine, train, backend_instance = resolve_specs(
+            type(self).__name__,
+            lsh,
+            train=train,
+            engine=engine,
+            legacy=legacy,
+            lsh_default=self._default_lsh,
+            engine_default=self._default_engine,
+            train_default=self._default_train,
+            # user frame -> concrete __init__ -> this __init__ ->
+            # resolve_specs: one deeper than a direct call
+            stacklevel=4,
+        )
         if n_clusters <= 0:
             raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
-        if bands <= 0 or rows <= 0:
+        if lsh.family not in self._supported_families:
             raise ConfigurationError(
-                f"bands and rows must be positive, got bands={bands}, rows={rows}"
+                f"{type(self).__name__} supports LSH families "
+                f"{self._supported_families}, got {lsh.family!r}"
             )
-        if max_iter <= 0:
-            raise ConfigurationError(f"max_iter must be positive, got {max_iter}")
-        if update_refs not in ("online", "batch", None):
+        if train.init not in self._supported_inits:
             raise ConfigurationError(
-                f"update_refs must be 'online', 'batch' or None, got {update_refs!r}"
+                f"{type(self).__name__} supports init {self._supported_inits}, "
+                f"got {train.init!r}"
             )
-        if isinstance(backend, str) and backend not in BACKEND_NAMES:
+        if train.empty_cluster_policy not in self._supported_empty_policies:
             raise ConfigurationError(
-                f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
-            )
-        if n_jobs is not None and n_jobs <= 0:
-            raise ConfigurationError(f"n_jobs must be positive, got {n_jobs}")
-        if n_shards is not None and n_shards <= 0:
-            raise ConfigurationError(f"n_shards must be positive, got {n_shards}")
-        if predict_fallback not in FALLBACK_POLICIES:
-            raise ConfigurationError(
-                f"predict_fallback must be one of {FALLBACK_POLICIES}, "
-                f"got {predict_fallback!r}"
+                f"{type(self).__name__} supports empty_cluster_policy "
+                f"{self._supported_empty_policies}, got "
+                f"{train.empty_cluster_policy!r}"
             )
         self.n_clusters = int(n_clusters)
-        self.bands = int(bands)
-        self.rows = int(rows)
-        self.max_iter = int(max_iter)
-        self.seed = seed
-        self.backend = backend
-        self.n_jobs = n_jobs
-        self.n_shards = n_shards
+        self.lsh = lsh
+        self.engine = engine
+        self.train = train
+        self._backend_instance = backend_instance
         parallel = (
-            backend.is_parallel
-            if isinstance(backend, ExecutionBackend)
-            else backend != "serial"
+            backend_instance.is_parallel
+            if backend_instance is not None
+            else engine.backend != "serial"
         )
-        if update_refs is None:
-            update_refs = "batch" if parallel else "online"
-        elif update_refs == "online" and parallel:
+        if train.update_refs == "online" and parallel:
             raise ConfigurationError(
                 "update_refs='online' requires backend='serial'; parallel "
                 "backends merge reference updates at a per-pass barrier "
                 "(update_refs='batch')"
             )
-        self.update_refs = update_refs
+        self._resolved_update_refs = train.update_refs or (
+            "batch" if parallel else "online"
+        )
         self.precompute_neighbours = bool(precompute_neighbours)
-        self.track_cost = bool(track_cost)
-        self.predict_fallback = predict_fallback
 
-        self.centroids_: np.ndarray | None = None
-        self.labels_: np.ndarray | None = None
         self.cost_: float = float("nan")
         self.n_iter_: int = 0
         self.converged_: bool = False
-        self.stats_: RunStats | None = None
-        self.index_: ClusteredLSHIndex | ShardedClusteredLSHIndex | None = None
+        self._centroids: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._stats: RunStats | None = None
+        self._index: ClusteredLSHIndex | ShardedClusteredLSHIndex | None = None
+
+    # -- legacy read surface: SpecAttributeSurface, with update_refs
+    # resolved against the backend --------------------------------------
+
+    @property
+    def update_refs(self) -> str:
+        """The *resolved* reference-update mode ('online' or 'batch')."""
+        return self._resolved_update_refs
+
+    # -- fitted state (NotFittedError before fit) -----------------------
+
+    def _is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def centroids_(self) -> np.ndarray:
+        """``(k, m)`` fitted centroids."""
+        check_fitted(self)
+        return self._centroids
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """Training assignments."""
+        check_fitted(self)
+        return self._labels
+
+    @property
+    def stats_(self) -> RunStats | None:
+        """Fit statistics (``None`` on estimators restored from disk)."""
+        check_fitted(self)
+        return self._stats
+
+    @property
+    def index_(self) -> ClusteredLSHIndex | ShardedClusteredLSHIndex:
+        """The built clustered index."""
+        check_fitted(self)
+        return self._index
 
     def _make_engine(self) -> ClusteringEngine:
         """The engine executing this estimator's fit phases."""
-        return resolve_engine(self.backend, self.n_jobs, self.n_shards)
+        if self._backend_instance is not None:
+            return ClusteringEngine(
+                self._backend_instance, n_shards=self.engine.n_shards
+            )
+        return resolve_engine(self.engine)
+
+    # -- the fitted-model artifact --------------------------------------
+
+    def _artifact_params(self) -> dict:
+        """Estimator-own constructor params persisted in the artifact."""
+        return {"precompute_neighbours": self.precompute_neighbours}
+
+    def _artifact_state(self) -> dict:
+        """Extra fitted scalars persisted in the artifact."""
+        return {}
+
+    def fitted_model(self) -> ClusterModel:
+        """Export the immutable :class:`~repro.api.ClusterModel` artifact.
+
+        The artifact carries everything serving needs — centroids, the
+        index's band keys and cluster references, the three specs and
+        the estimator-own parameters — so ``predict`` works without
+        this training object (and byte-identically to it).
+        """
+        check_fitted(self)
+        index = self._index
+        return ClusterModel(
+            algorithm=getattr(type(self), "_registry_name", type(self).__name__),
+            n_clusters=self.n_clusters,
+            centroids=self._centroids,
+            lsh=self.lsh,
+            engine=self.engine,
+            train=self.train,
+            labels=self._labels,
+            band_keys=None if index is None else index.band_keys,
+            assignments=None if index is None else index.assignments,
+            params=self._artifact_params(),
+            state={**self._artifact_scalars(), **self._artifact_state()},
+            metadata=self._artifact_metadata(),
+        )
+
+    def _restore_fit_state(self, model: ClusterModel) -> None:
+        """Adopt a :class:`~repro.api.ClusterModel`'s fitted state.
+
+        Called on a freshly constructed estimator by
+        :meth:`ClusterModel.to_estimator`; the index is rebuilt from
+        the band keys in-process (results are backend-invariant and a
+        read-only load should not fork a worker pool as a side
+        effect), honouring the persisted shard count.
+        """
+        super()._restore_fit_state(model)
+        if model.band_keys is not None:
+            engine = ClusteringEngine(
+                SerialBackend(), n_shards=self.engine.n_shards
+            )
+            self._index = engine.index_from_band_keys(
+                self, np.array(model.band_keys), np.array(model.assignments)
+            )
 
     # ------------------------------------------------------------------
     # kernels supplied by concrete algorithms
@@ -351,13 +462,13 @@ class BaseLSHAcceleratedClustering(abc.ABC):
 
         stats.converged = converged
         stats.phase_s["iterations"] = sum(it.duration_s for it in stats.iterations)
-        self.centroids_ = centroids
-        self.labels_ = labels
+        self._centroids = centroids
+        self._labels = labels
         self.cost_ = float(self._compute_cost(X, centroids, labels))
         self.n_iter_ = stats.n_iterations
         self.converged_ = converged
-        self.stats_ = stats
-        self.index_ = index
+        self._stats = stats
+        self._index = index
         return self
 
     def fit_predict(
@@ -443,8 +554,13 @@ class BaseLSHAcceleratedClustering(abc.ABC):
         against every centroid; ``'error'`` raises).  Row for row
         identical to hashing and assigning each item on its own.
         """
-        if self.centroids_ is None or self.index_ is None:
-            raise NotFittedError("call fit before predict")
+        check_fitted(self)
+        if self._index is None:
+            raise NotFittedError(
+                "this model carries no clustered index (it was restored "
+                "from an artifact without band keys); shortlist-based "
+                "predict is unavailable"
+            )
         X = self._validate_X(X)
         if X.shape[1] != self.centroids_.shape[1]:
             raise DataValidationError(
@@ -481,9 +597,3 @@ class BaseLSHAcceleratedClustering(abc.ABC):
             )
             out[filled] = labels
         return out
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"{type(self).__name__}(n_clusters={self.n_clusters}, "
-            f"bands={self.bands}, rows={self.rows}, seed={self.seed})"
-        )

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, LSHSpec, TrainSpec
 from repro.core.framework import BaseLSHAcceleratedClustering
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.kmodes.cost import clustering_cost
@@ -36,6 +38,7 @@ from repro.lsh.tokens import TokenSets
 __all__ = ["MHKModes"]
 
 
+@register_estimator("mh-kmodes")
 class MHKModes(BaseLSHAcceleratedClustering):
     """MinHash-accelerated K-Modes.
 
@@ -43,18 +46,18 @@ class MHKModes(BaseLSHAcceleratedClustering):
     ----------
     n_clusters:
         Number of clusters k.
-    bands, rows:
-        MinHash banding parameters.  The paper evaluates (20, 2),
-        (20, 5), (50, 5) and (1, 1); see
+    lsh:
+        :class:`~repro.api.LSHSpec`; the family is always
+        ``'minhash'``.  The paper evaluates bandings (20, 2), (20, 5),
+        (50, 5) and (1, 1); see
         :func:`repro.core.parameters.suggest_bands_rows` for guidance.
-    init:
-        Centroid initialisation (``'random'`` as in the paper,
-        ``'huang'``, or ``'cao'``); ignored when ``fit`` receives
-        explicit ``initial_centroids``.
-    max_iter:
-        Cap on shortlist iterations.
-    seed:
-        Controls initialisation and hashing.
+    engine:
+        :class:`~repro.api.EngineSpec` (backend / workers / shards /
+        setup chunking).
+    train:
+        :class:`~repro.api.TrainSpec`; ``init`` may be ``'random'``
+        (the paper), ``'huang'`` or ``'cao'``, and
+        ``empty_cluster_policy`` is forwarded to the mode update.
     absent_code:
         If given, attribute values equal to this code are treated as
         "feature not present" and excluded from MinHash (presence
@@ -63,14 +66,12 @@ class MHKModes(BaseLSHAcceleratedClustering):
     domain_size:
         Global category domain size for token encoding (default:
         inferred from the data).
-    empty_cluster_policy:
-        Forwarded to the mode update: ``'keep'``, ``'reinit'``,
-        ``'error'``.
-    update_refs, backend, n_jobs, n_shards, precompute_neighbours,
-    track_cost, predict_fallback:
+    precompute_neighbours:
         See :class:`~repro.core.framework.BaseLSHAcceleratedClustering`.
-    chunk_items:
-        Chunk size of the one-off exhaustive setup pass.
+    **legacy:
+        Deprecated flat kwargs (``bands=``, ``rows=``, ``init=``,
+        ``backend=``, ...), mapped onto the specs with a
+        :class:`DeprecationWarning`.
 
     Attributes
     ----------
@@ -79,54 +80,41 @@ class MHKModes(BaseLSHAcceleratedClustering):
 
     Examples
     --------
+    >>> from repro.api import LSHSpec
     >>> X = np.array([[0, 1, 2], [0, 1, 2], [7, 8, 9], [7, 8, 9]])
-    >>> model = MHKModes(n_clusters=2, bands=8, rows=1, seed=0).fit(X)
-    >>> sorted(np.bincount(model.labels_).tolist())
+    >>> model = MHKModes(n_clusters=2, lsh=LSHSpec(bands=8, rows=1, seed=1))
+    >>> sorted(np.bincount(model.fit(X).labels_).tolist())
     [2, 2]
     """
+
+    _default_lsh = LSHSpec(family="minhash", bands=20, rows=5)
+    _default_engine = EngineSpec()
+    _default_train = TrainSpec()
+    _supported_families = ("minhash",)
+    _supported_inits = ("random", "huang", "cao")
 
     def __init__(
         self,
         n_clusters: int,
-        bands: int = 20,
-        rows: int = 5,
-        init: str = "random",
-        max_iter: int = 100,
-        seed: int | None = None,
+        lsh: LSHSpec | dict | None = None,
+        engine: EngineSpec | dict | None = None,
+        train: TrainSpec | dict | None = None,
         absent_code: int | None = None,
         domain_size: int | None = None,
-        empty_cluster_policy: str = "keep",
-        update_refs: str | None = None,
-        backend="serial",
-        n_jobs: int | None = None,
-        n_shards: int | None = None,
         precompute_neighbours: bool = True,
-        track_cost: bool = True,
-        predict_fallback: str = "full",
-        chunk_items: int = 256,
+        **legacy,
     ):
         super().__init__(
-            n_clusters=n_clusters,
-            bands=bands,
-            rows=rows,
-            max_iter=max_iter,
-            seed=seed,
-            update_refs=update_refs,
-            backend=backend,
-            n_jobs=n_jobs,
-            n_shards=n_shards,
+            n_clusters,
+            lsh=lsh,
+            engine=engine,
+            train=train,
             precompute_neighbours=precompute_neighbours,
-            track_cost=track_cost,
-            predict_fallback=predict_fallback,
+            **legacy,
         )
-        resolve_init(init)
-        if chunk_items <= 0:
-            raise ConfigurationError(f"chunk_items must be positive, got {chunk_items}")
-        self.init = init
+        resolve_init(self.init)
         self.absent_code = absent_code
         self.domain_size = domain_size
-        self.empty_cluster_policy = empty_cluster_policy
-        self.chunk_items = int(chunk_items)
         self._hasher = MinHasher(self.bands * self.rows, seed=self._hash_seed())
         self._fitted_domain_size: int | None = None
 
@@ -253,3 +241,26 @@ class MHKModes(BaseLSHAcceleratedClustering):
         self, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray
     ) -> float:
         return float(clustering_cost(X, centroids, labels))
+
+    # ------------------------------------------------------------------
+    # artifact support
+    # ------------------------------------------------------------------
+
+    def _artifact_params(self) -> dict:
+        return {
+            **super()._artifact_params(),
+            "absent_code": self.absent_code,
+            "domain_size": self.domain_size,
+        }
+
+    def _artifact_state(self) -> dict:
+        state = super()._artifact_state()
+        if self._fitted_domain_size is not None:
+            state["fitted_domain_size"] = self._fitted_domain_size
+        return state
+
+    def _restore_fit_state(self, model) -> None:
+        super()._restore_fit_state(model)
+        fitted_domain = model.state.get("fitted_domain_size")
+        if fitted_domain is not None:
+            self._fitted_domain_size = int(fitted_domain)

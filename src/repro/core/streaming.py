@@ -26,8 +26,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.legacy import resolve_specs
+from repro.api.model import ClusterModel
+from repro.api.protocol import EstimatorProtocol, SpecAttributeSurface
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, LSHSpec, TrainSpec
 from repro.core.mh_kmodes import MHKModes
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    check_fitted,
+)
 from repro.lsh.minhash import MinHasher
 from repro.lsh.tokens import TokenSets
 
@@ -106,14 +115,25 @@ class ClusterModeTracker:
         )
 
 
-class StreamingMHKModes:
+@register_estimator("streaming-mh-kmodes")
+class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
     """Online MH-K-Modes over an unbounded item stream.
 
     Parameters
     ----------
-    n_clusters, bands, rows, seed, absent_code, domain_size:
-        As in :class:`repro.core.MHKModes`; these configure both the
-        bootstrap fit and the streaming index.
+    n_clusters:
+        Number of clusters k.
+    lsh, engine, train:
+        :class:`~repro.api.LSHSpec` / :class:`~repro.api.EngineSpec` /
+        :class:`~repro.api.TrainSpec`, configuring both the bootstrap
+        fit and the streaming index (as in :class:`repro.core.MHKModes`).
+        With ``train.update_refs='batch'`` the bootstrap runs the
+        engine's vectorised batch passes on any backend; with
+        ``engine.n_shards > 1`` the insertable index is a
+        :class:`~repro.engine.ShardedClusteredLSHIndex` and streamed
+        arrivals are hashed into the shards round-robin.
+    absent_code, domain_size:
+        As in :class:`repro.core.MHKModes`.
     refresh_interval:
         Modes are recomputed from the incremental counts after this
         many streamed arrivals (and counts continue to accumulate in
@@ -122,16 +142,10 @@ class StreamingMHKModes:
         ``'full'`` — items whose shortlist is empty are assigned by a
         full scan over the modes (exact, rare);
         ``'error'`` — raise instead.
-    max_iter:
-        Iteration cap of the bootstrap fit.
-    update_refs, backend, n_jobs, n_shards:
-        Engine knobs forwarded to the bootstrap fit (see
-        :class:`~repro.core.framework.BaseLSHAcceleratedClustering`).
-        With ``update_refs='batch'`` the bootstrap runs the engine's
-        vectorised batch passes on any backend; with ``n_shards > 1``
-        the insertable index is a
-        :class:`~repro.engine.ShardedClusteredLSHIndex` and streamed
-        arrivals are hashed into the shards round-robin.
+    **legacy:
+        Deprecated flat kwargs (``bands=``, ``seed=``, ``backend=``,
+        ...), mapped onto the specs with a
+        :class:`DeprecationWarning`.
 
     Attributes
     ----------
@@ -144,32 +158,49 @@ class StreamingMHKModes:
 
     Examples
     --------
+    >>> from repro.api import LSHSpec
     >>> from repro.data import RuleBasedGenerator
     >>> data = RuleBasedGenerator(n_clusters=5, n_attributes=12, seed=0).generate(120)
-    >>> stream = StreamingMHKModes(n_clusters=5, bands=8, rows=1, seed=0)
-    >>> stream.bootstrap(data.X[:80])                       # doctest: +ELLIPSIS
-    <repro.core.streaming.StreamingMHKModes object at ...>
-    >>> labels = stream.extend(data.X[80:])
+    >>> stream = StreamingMHKModes(n_clusters=5, lsh=LSHSpec(bands=8, rows=1, seed=0))
+    >>> labels = stream.bootstrap(data.X[:80]).extend(data.X[80:])
     >>> len(labels)
     40
     """
 
+    _accepts_specs = True
+    _default_lsh = LSHSpec(family="minhash", bands=20, rows=5)
+    _default_engine = EngineSpec()
+    _default_train = TrainSpec()
+
     def __init__(
         self,
         n_clusters: int,
-        bands: int = 20,
-        rows: int = 5,
-        seed: int | None = None,
+        lsh: LSHSpec | dict | None = None,
+        engine: EngineSpec | dict | None = None,
+        train: TrainSpec | dict | None = None,
         absent_code: int | None = None,
         domain_size: int | None = None,
         refresh_interval: int = 200,
         stream_fallback: str = "full",
-        max_iter: int = 100,
-        update_refs: str | None = None,
-        backend="serial",
-        n_jobs: int | None = None,
-        n_shards: int | None = None,
+        **legacy,
     ):
+        lsh, engine, train, backend_instance = resolve_specs(
+            type(self).__name__,
+            lsh,
+            engine,
+            train,
+            legacy,
+            lsh_default=self._default_lsh,
+            engine_default=self._default_engine,
+            train_default=self._default_train,
+        )
+        if n_clusters <= 0:
+            raise ConfigurationError(f"n_clusters must be positive, got {n_clusters}")
+        if lsh.family != "minhash":
+            raise ConfigurationError(
+                f"StreamingMHKModes supports the 'minhash' family only, "
+                f"got {lsh.family!r}"
+            )
         if refresh_interval <= 0:
             raise ConfigurationError(
                 f"refresh_interval must be positive, got {refresh_interval}"
@@ -179,27 +210,36 @@ class StreamingMHKModes:
                 f"stream_fallback must be 'full' or 'error', got {stream_fallback!r}"
             )
         self.n_clusters = int(n_clusters)
-        self.bands = int(bands)
-        self.rows = int(rows)
-        self.seed = seed
+        self.lsh = lsh
+        self.engine = engine
+        self.train = train
+        self._backend_instance = backend_instance
         self.absent_code = absent_code
         self.domain_size = domain_size
         self.refresh_interval = int(refresh_interval)
         self.stream_fallback = stream_fallback
-        self.max_iter = int(max_iter)
-        self.update_refs = update_refs
-        self.backend = backend
-        self.n_jobs = n_jobs
-        self.n_shards = n_shards
 
         self._bootstrap_model: MHKModes | None = None
         self._hasher: MinHasher | None = None
         self._tracker: ClusterModeTracker | None = None
         self._fitted_domain: int | None = None
         self._since_refresh = 0
-        self.modes_: np.ndarray | None = None
+        self._modes: np.ndarray | None = None
         self.n_seen_: int = 0
         self.n_fallbacks_: int = 0
+
+    # legacy read surface (bands/rows/seed/backend/...) comes from
+    # SpecAttributeSurface; update_refs stays the raw spec value here
+    # because resolution happens inside the bootstrap fit.
+
+    def _is_fitted(self) -> bool:
+        return self._bootstrap_model is not None
+
+    @property
+    def modes_(self) -> np.ndarray:
+        """Current cluster modes."""
+        check_fitted(self)
+        return self._modes
 
     # ------------------------------------------------------------------
     # phase 1: bootstrap
@@ -209,18 +249,15 @@ class StreamingMHKModes:
         """Fit the initial batch and build the insertable index."""
         model = MHKModes(
             n_clusters=self.n_clusters,
-            bands=self.bands,
-            rows=self.rows,
-            seed=self.seed,
+            lsh=self.lsh,
+            engine=self.engine,
+            train=self.train,
             absent_code=self.absent_code,
             domain_size=self.domain_size,
-            max_iter=self.max_iter,
-            update_refs=self.update_refs,
-            backend=self.backend,
-            n_jobs=self.n_jobs,
-            n_shards=self.n_shards,
             precompute_neighbours=False,  # keeps the index insertable
         )
+        if self._backend_instance is not None:
+            model._backend_instance = self._backend_instance
         model.fit(X, initial_centroids=initial_centroids)
         assert model.labels_ is not None and model.centroids_ is not None
         assert model.index_ is not None
@@ -234,7 +271,7 @@ class StreamingMHKModes:
         self._tracker = ClusterModeTracker.from_assignment(
             np.asarray(X), model.labels_, self.n_clusters
         )
-        self.modes_ = model.centroids_.copy()
+        self._modes = model.centroids_.copy()
         self.n_seen_ = len(X)
         return self
 
@@ -244,17 +281,17 @@ class StreamingMHKModes:
 
     def push(self, item: np.ndarray) -> int:
         """Absorb one arriving item; returns its assigned cluster."""
-        self._check_bootstrapped()
+        check_fitted(self)
         assert (
             self._bootstrap_model is not None
             and self._hasher is not None
             and self._tracker is not None
-            and self.modes_ is not None
+            and self._modes is not None
         )
         item = np.asarray(item)
-        if item.ndim != 1 or item.shape[0] != self.modes_.shape[1]:
+        if item.ndim != 1 or item.shape[0] != self._modes.shape[1]:
             raise DataValidationError(
-                f"item must be 1-D with {self.modes_.shape[1]} attributes, "
+                f"item must be 1-D with {self._modes.shape[1]} attributes, "
                 f"got shape {item.shape}"
             )
         index = self._bootstrap_model.index_
@@ -276,7 +313,7 @@ class StreamingMHKModes:
             self.n_fallbacks_ += 1
             shortlist = np.arange(self.n_clusters, dtype=np.int64)
         distances = np.count_nonzero(
-            self.modes_[shortlist] != item[None, :], axis=1
+            self._modes[shortlist] != item[None, :], axis=1
         )
         cluster = int(shortlist[np.argmin(distances)])
 
@@ -297,9 +334,9 @@ class StreamingMHKModes:
 
     def refresh_modes(self) -> None:
         """Recompute modes from the incremental counts."""
-        self._check_bootstrapped()
-        assert self._tracker is not None and self.modes_ is not None
-        self.modes_ = self._tracker.modes(self.modes_)
+        check_fitted(self)
+        assert self._tracker is not None and self._modes is not None
+        self._modes = self._tracker.modes(self._modes)
         self._since_refresh = 0
 
     # ------------------------------------------------------------------
@@ -307,16 +344,46 @@ class StreamingMHKModes:
     @property
     def cluster_sizes_(self) -> np.ndarray:
         """Items absorbed per cluster (bootstrap + streamed)."""
-        self._check_bootstrapped()
+        check_fitted(self)
         assert self._tracker is not None
         return self._tracker.cluster_sizes.copy()
 
-    def _check_bootstrapped(self) -> None:
-        if self._bootstrap_model is None:
-            raise NotFittedError("call bootstrap(X) before streaming")
+    def fitted_model(self) -> ClusterModel:
+        """Export the current state as an immutable serving artifact.
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"StreamingMHKModes(n_clusters={self.n_clusters}, "
-            f"bands={self.bands}, rows={self.rows}, seen={self.n_seen_})"
+        The artifact is an ``'mh-kmodes'`` :class:`~repro.api.ClusterModel`
+        carrying the *current* modes and the live index — bootstrap
+        items and every streamed arrival included — so a reconstructed
+        model predicts exactly like this stream would assign (minus the
+        insertion side effects, which belong to training).
+        """
+        check_fitted(self)
+        assert self._bootstrap_model is not None and self._modes is not None
+        index = self._bootstrap_model.index_
+        state = {
+            "cost": float("nan"),
+            "n_iter": int(self._bootstrap_model.n_iter_),
+            "converged": bool(self._bootstrap_model.converged_),
+            "n_seen": int(self.n_seen_),
+            "n_fallbacks": int(self.n_fallbacks_),
+        }
+        if self._fitted_domain is not None:
+            state["fitted_domain_size"] = int(self._fitted_domain)
+        return ClusterModel(
+            algorithm="mh-kmodes",
+            n_clusters=self.n_clusters,
+            centroids=self._modes,
+            lsh=self.lsh,
+            engine=self.engine,
+            train=self.train,
+            labels=index.assignments,
+            band_keys=index.band_keys,
+            assignments=index.assignments,
+            params={
+                "absent_code": self.absent_code,
+                "domain_size": self.domain_size,
+                "precompute_neighbours": False,
+            },
+            state=state,
+            metadata=self._artifact_metadata(),
         )

@@ -28,6 +28,7 @@ from repro.data.encoding import (
 from repro.data.io import (
     load_corpus,
     load_dataset,
+    load_cluster_model,
     load_model,
     save_corpus,
     save_dataset,
@@ -57,4 +58,5 @@ __all__ = [
     "load_corpus",
     "save_model",
     "load_model",
+    "load_cluster_model",
 ]

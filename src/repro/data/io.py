@@ -5,24 +5,30 @@ metadata; corpora round-trip through JSON-lines, one question per
 line.  Both formats are self-describing and diff-friendly enough for
 experiment artefacts.
 
-Fitted estimators round-trip through an ``.npz`` (centroids, labels,
-index band keys) plus a ``.json`` sidecar (constructor parameters —
-hash seeds, banding, engine knobs — and scalar fitted state).  The
-clustered LSH index is *not* serialised bucket by bucket: band keys
-fully determine the buckets *and* the flat CSR neighbour storage, so
-:func:`load_model` rebuilds the index with
-:meth:`~repro.lsh.index.ClusteredLSHIndex.from_band_keys` and the
-loaded model predicts exactly like the original — same shortlists,
-same CSR fast paths — including sharded fits, which can be saved on
-one machine and reloaded on another.  Streamed inserts are persisted
-too: the band-key/assignment views cover every inserted item, and the
-archive stores compact copies, never the index's over-allocated
-growth buffers.
+Fitted models round-trip through the immutable
+:class:`~repro.api.ClusterModel` artifact: an ``.npz`` holds the
+arrays (centroids, labels, index band keys + cluster references) and
+a ``.json`` sidecar holds the spec triple
+(:class:`~repro.api.LSHSpec` / :class:`~repro.api.EngineSpec` /
+:class:`~repro.api.TrainSpec`, via their ``to_dict`` round-trip),
+estimator-own parameters and fitted scalars — human-readable
+provenance.  The clustered LSH index is *not* serialised bucket by
+bucket: band keys fully determine the buckets *and* the flat CSR
+neighbour storage, so a loaded model predicts exactly like the
+original — same shortlists, same CSR fast paths — including sharded
+fits, which can be saved on one machine and reloaded on another.
+Streamed inserts are persisted too: the band-key/assignment views
+cover every inserted item, and the archive stores compact copies,
+never the index's over-allocated growth buffers.
+
+:func:`save_model` accepts a fitted estimator *or* a
+:class:`~repro.api.ClusterModel`; :func:`load_cluster_model` returns
+the artifact (all serving needs), while :func:`load_model` goes one
+step further and reconstructs a fitted estimator from it.
 """
 
 from __future__ import annotations
 
-import inspect
 import json
 from pathlib import Path
 
@@ -30,7 +36,7 @@ import numpy as np
 
 from repro.data.dataset import CategoricalDataset
 from repro.data.yahoo import QuestionCorpus
-from repro.exceptions import DataValidationError, NotFittedError
+from repro.exceptions import DataValidationError
 
 __all__ = [
     "save_dataset",
@@ -39,6 +45,7 @@ __all__ = [
     "load_corpus",
     "save_model",
     "load_model",
+    "load_cluster_model",
 ]
 
 
@@ -149,91 +156,66 @@ def load_corpus(path: str | Path) -> QuestionCorpus:
 
 #: Format tag written into every model sidecar.
 _MODEL_KIND = "repro.Model"
-_MODEL_FORMAT_VERSION = 1
-
-#: Non-parameter fitted attributes persisted when present (per class,
-#: attribute name → saved verbatim in the sidecar).
-_EXTRA_STATE_ATTRS = ("_fitted_domain_size",)
+#: Version 2: spec-driven sidecars carrying the ClusterModel artifact
+#: (version 1 was the pre-spec flat-params layout).
+_MODEL_FORMAT_VERSION = 2
 
 
-def _model_registry() -> dict[str, type]:
-    """Persistable estimator classes, resolved lazily to avoid cycles."""
-    from repro.core.mh_kmodes import MHKModes
-    from repro.kmeans.mh_kmeans import LSHKMeans
-    from repro.kmodes.kmodes import KModes
-
-    return {cls.__name__: cls for cls in (MHKModes, LSHKMeans, KModes)}
-
-
-def _constructor_params(model) -> dict:
-    """Recover constructor arguments from same-named attributes."""
-    from repro.engine import ExecutionBackend
-
-    params = {}
-    for name in inspect.signature(type(model).__init__).parameters:
-        if name == "self" or not hasattr(model, name):
-            continue
-        value = getattr(model, name)
-        if isinstance(value, ExecutionBackend):
-            value = value.name  # backends persist by name, not by pool
-        if isinstance(value, np.generic):
-            value = value.item()
-        params[name] = value
-    return params
+def _json_safe(value):
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 def save_model(model, path: str | Path) -> Path:
-    """Write a fitted estimator as ``<path>.npz`` + ``<path>.json``.
+    """Write a fitted model as ``<path>.npz`` + ``<path>.json``.
 
-    The npz holds the arrays (centroids, training labels, index band
-    keys); the json sidecar holds the constructor parameters and scalar
-    fitted state, human-readable for provenance.  Supported classes:
-    ``MHKModes``, ``LSHKMeans`` and the exhaustive ``KModes`` baseline.
+    ``model`` may be a fitted estimator (anything exposing
+    ``fitted_model()`` — every registered estimator does) or an
+    already exported :class:`~repro.api.ClusterModel`.  The npz holds
+    the arrays (centroids, training labels, index band keys + cluster
+    references); the json sidecar holds the specs, estimator-own
+    parameters and fitted scalars, human-readable for provenance.
 
     Returns the npz path; the sidecar sits next to it.
     """
-    cls_name = type(model).__name__
-    if cls_name not in _model_registry():
-        raise DataValidationError(
-            f"cannot persist {cls_name}; supported classes are "
-            f"{sorted(_model_registry())}"
-        )
-    labels = getattr(model, "labels_", None)
-    if labels is None:
-        raise NotFittedError("cannot save an unfitted model; call fit first")
-    centroids = getattr(model, "centroids_", None)
-    if centroids is None:
-        centroids = model.modes_  # KModes terminology
+    from repro.api.model import ClusterModel
+
+    if isinstance(model, ClusterModel):
+        artifact = model
+    else:
+        export = getattr(model, "fitted_model", None)
+        if export is None:
+            raise DataValidationError(
+                f"cannot persist {type(model).__name__}; pass a ClusterModel "
+                "or an estimator exposing fitted_model() (any registered "
+                "repro estimator)"
+            )
+        artifact = export()  # raises NotFittedError on unfitted estimators
 
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    arrays = {"centroids": centroids, "labels": labels}
-    index = getattr(model, "index_", None)
-    if index is not None:
-        # band_keys is a live view into the index's doubling buffer;
-        # copy so mutating the staged array can never corrupt the index.
-        arrays["index_band_keys"] = index.band_keys.copy()
-        arrays["index_assignments"] = index.assignments
+    arrays = {"centroids": artifact.centroids}
+    if artifact.labels is not None:
+        arrays["labels"] = artifact.labels
+    if artifact.band_keys is not None:
+        arrays["index_band_keys"] = artifact.band_keys
+        arrays["index_assignments"] = artifact.assignments
     np.savez_compressed(path, **arrays)
 
     sidecar = {
         "kind": _MODEL_KIND,
         "format_version": _MODEL_FORMAT_VERSION,
-        "class": cls_name,
-        "params": _constructor_params(model),
-        "extra_state": {
-            name: getattr(model, name)
-            for name in _EXTRA_STATE_ATTRS
-            if getattr(model, name, None) is not None
-        },
-        "fitted": {
-            "cost_": float(model.cost_),
-            "n_iter_": int(model.n_iter_),
-            "converged_": bool(model.converged_),
-        },
+        "algorithm": artifact.algorithm,
+        "class": artifact.metadata.get("class", artifact.algorithm),
+        "n_clusters": int(artifact.n_clusters),
+        "specs": artifact.specs_dict(),
+        "params": {k: _json_safe(v) for k, v in artifact.params.items()},
+        "state": {k: _json_safe(v) for k, v in artifact.state.items()},
+        "metadata": {k: _json_safe(v) for k, v in artifact.metadata.items()},
     }
     path.with_suffix(".json").write_text(
         json.dumps(sidecar, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -241,15 +223,16 @@ def save_model(model, path: str | Path) -> Path:
     return path
 
 
-def load_model(path: str | Path):
-    """Reconstruct an estimator written by :func:`save_model`.
+def load_cluster_model(path: str | Path):
+    """Read a :class:`~repro.api.ClusterModel` written by :func:`save_model`.
 
-    The constructor runs with the persisted parameters, fitted arrays
-    are restored, and — for LSH-accelerated models — the clustered
-    index is rebuilt from its band keys, so ``predict`` behaves exactly
-    as on the instance that was saved.  ``stats_`` is not persisted
-    (it describes the original fitting run, not the model).
+    The artifact is everything serving needs: ``predict`` works
+    directly on it (bit-identically to the saved model) without ever
+    constructing the training estimator.
     """
+    from repro.api.model import ClusterModel
+    from repro.api.specs import EngineSpec, LSHSpec, TrainSpec
+
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -262,32 +245,25 @@ def load_model(path: str | Path):
     if sidecar.get("kind") != _MODEL_KIND:
         raise DataValidationError(f"{sidecar_path} is not a repro model sidecar")
     version = sidecar.get("format_version", 0)
-    if version > _MODEL_FORMAT_VERSION:
+    if version != _MODEL_FORMAT_VERSION:
         raise DataValidationError(
             f"{sidecar_path} has format_version {version}; this build reads "
-            f"up to {_MODEL_FORMAT_VERSION}"
+            f"exactly {_MODEL_FORMAT_VERSION} (version 1 predates the spec "
+            "API — re-save the model with this build)"
         )
-    cls = _model_registry().get(sidecar.get("class", ""))
-    if cls is None:
+    specs = sidecar.get("specs", {})
+    if "engine" not in specs or "train" not in specs:
         raise DataValidationError(
-            f"unknown model class {sidecar.get('class')!r} in {sidecar_path}"
+            f"{sidecar_path} is missing the engine/train specs"
         )
-
-    model = cls(**sidecar.get("params", {}))
-    for name, value in sidecar.get("extra_state", {}).items():
-        setattr(model, name, value)
-    for name, value in sidecar.get("fitted", {}).items():
-        setattr(model, name, value)
 
     with np.load(path, allow_pickle=False) as archive:
-        required = {"centroids", "labels"}
-        missing = required - set(archive.files)
-        if missing:
+        if "centroids" not in archive.files:
             raise DataValidationError(
-                f"{path} is not a repro model archive (missing {sorted(missing)})"
+                f"{path} is not a repro model archive (missing ['centroids'])"
             )
         centroids = archive["centroids"]
-        labels = archive["labels"]
+        labels = archive["labels"] if "labels" in archive.files else None
         band_keys = (
             archive["index_band_keys"]
             if "index_band_keys" in archive.files
@@ -299,20 +275,31 @@ def load_model(path: str | Path):
             else None
         )
 
-    if hasattr(model, "centroids_"):
-        model.centroids_ = centroids
-    else:
-        model.modes_ = centroids  # KModes
-    model.labels_ = labels
-    if band_keys is not None and index_assignments is not None:
-        # Rebuild in-process regardless of the model's fitted backend:
-        # results are backend-invariant and a read-only load should not
-        # fork a worker pool as a side effect.  The persisted n_shards
-        # is honoured, so sharded fits reload sharded.
-        from repro.engine import ClusteringEngine, SerialBackend
+    return ClusterModel(
+        algorithm=sidecar.get("algorithm", ""),
+        n_clusters=sidecar.get("n_clusters", 0),
+        centroids=centroids,
+        lsh=None if specs.get("lsh") is None else LSHSpec.from_dict(specs["lsh"]),
+        engine=EngineSpec.from_dict(specs["engine"]),
+        train=TrainSpec.from_dict(specs["train"]),
+        labels=labels,
+        band_keys=band_keys,
+        assignments=index_assignments,
+        params=sidecar.get("params", {}),
+        state=sidecar.get("state", {}),
+        metadata=sidecar.get("metadata", {}),
+    )
 
-        engine = ClusteringEngine(SerialBackend(), n_shards=model.n_shards)
-        model.index_ = engine.index_from_band_keys(
-            model, band_keys, index_assignments
-        )
-    return model
+
+def load_model(path: str | Path):
+    """Reconstruct a fitted estimator written by :func:`save_model`.
+
+    Reads the :class:`~repro.api.ClusterModel` artifact and builds the
+    estimator from its specs; fitted arrays are restored and — for
+    LSH-accelerated models — the clustered index is rebuilt from its
+    band keys, so ``predict`` behaves exactly as on the instance that
+    was saved.  ``stats_`` is not persisted (it describes the original
+    fitting run, not the model).  Prefer :func:`load_cluster_model`
+    when serving is all that is needed.
+    """
+    return load_cluster_model(path).to_estimator()

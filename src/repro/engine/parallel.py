@@ -51,7 +51,7 @@ from repro.instrumentation import Timer
 from repro.lsh.bands import compute_band_keys
 from repro.lsh.index import ClusteredLSHIndex
 
-__all__ = ["ClusteringEngine", "resolve_engine"]
+__all__ = ["ClusteringEngine", "backend_from_spec", "resolve_engine"]
 
 #: Rough element budget for one padded ``(rows, smax, m)`` distance
 #: tensor inside a chunk worker; blocks are sliced to stay under it.
@@ -520,10 +520,36 @@ class ClusteringEngine:
         )
 
 
+def backend_from_spec(spec) -> ExecutionBackend:
+    """Build the :class:`ExecutionBackend` an ``EngineSpec`` describes."""
+    if spec.backend == "process" and spec.start_method is not None:
+        from repro.engine.backends import ProcessBackend
+
+        return ProcessBackend(spec.n_jobs, start_method=spec.start_method)
+    return resolve_backend(spec.backend, spec.n_jobs)
+
+
 def resolve_engine(
-    backend: str | ExecutionBackend,
+    backend,
     n_jobs: int | None = None,
     n_shards: int | None = None,
 ) -> ClusteringEngine:
-    """Build a :class:`ClusteringEngine` from estimator parameters."""
+    """Build a :class:`ClusteringEngine` from estimator parameters.
+
+    ``backend`` may be an :class:`~repro.api.EngineSpec` (the spec
+    fully describes the engine; ``n_jobs``/``n_shards`` must then stay
+    unset), a backend name, or a pre-built
+    :class:`~repro.engine.backends.ExecutionBackend`.
+    """
+    from repro.api.specs import EngineSpec
+
+    if isinstance(backend, EngineSpec):
+        if n_jobs is not None or n_shards is not None:
+            raise ConfigurationError(
+                "when resolving an EngineSpec, n_jobs/n_shards come from "
+                "the spec; do not pass them separately"
+            )
+        return ClusteringEngine(
+            backend_from_spec(backend), n_shards=backend.n_shards
+        )
     return ClusteringEngine(resolve_backend(backend, n_jobs), n_shards=n_shards)

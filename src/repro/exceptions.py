@@ -16,6 +16,7 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "EmptyClusterError",
+    "check_fitted",
 ]
 
 
@@ -55,3 +56,36 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class EmptyClusterError(ReproError, RuntimeError):
     """A cluster lost all members and the configured policy is ``'error'``."""
+
+
+def check_fitted(estimator, message: str | None = None) -> None:
+    """Raise :class:`NotFittedError` unless ``estimator`` has been fitted.
+
+    The single gate every fitted-state access routes through: an
+    estimator advertises its state via an ``_is_fitted()`` method (the
+    :class:`repro.api.EstimatorProtocol` default reads a ``_fitted``
+    flag set by ``fit``), and every ``predict`` / ``labels_`` /
+    ``centroids_`` access calls this helper, so unfitted use uniformly
+    surfaces ``NotFittedError`` instead of a raw ``AttributeError``.
+
+    Parameters
+    ----------
+    estimator:
+        Any object exposing ``_is_fitted()`` (or a truthy ``_fitted``
+        attribute).
+    message:
+        Override for the error message.
+    """
+    probe = getattr(estimator, "_is_fitted", None)
+    fitted = bool(probe()) if callable(probe) else bool(
+        getattr(estimator, "_fitted", False)
+    )
+    if not fitted:
+        raise NotFittedError(
+            message
+            or (
+                f"this {type(estimator).__name__} instance is not fitted "
+                "yet; call 'fit' (or 'bootstrap' for streaming estimators) "
+                "before using it"
+            )
+        )

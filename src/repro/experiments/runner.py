@@ -18,6 +18,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.api.specs import EngineSpec, LSHSpec, TrainSpec
 from repro.core.mh_kmodes import MHKModes
 from repro.data.datgen import RuleBasedGenerator
 from repro.data.dataset import CategoricalDataset
@@ -161,13 +162,10 @@ def run_comparison(
             assert variant.bands is not None and variant.rows is not None
             model = MHKModes(
                 n_clusters=n_clusters,
-                bands=variant.bands,
-                rows=variant.rows,
-                max_iter=max_iter,
-                seed=seed,
+                lsh=LSHSpec(bands=variant.bands, rows=variant.rows, seed=seed),
+                engine=EngineSpec(backend=backend, n_jobs=n_jobs),
+                train=TrainSpec(max_iter=max_iter),
                 absent_code=absent_code,
-                backend=backend,
-                n_jobs=n_jobs,
             )
             model.fit(dataset.X, initial_centroids=initial)
         assert model.labels_ is not None and model.stats_ is not None

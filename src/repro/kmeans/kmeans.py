@@ -9,7 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.api.protocol import EstimatorProtocol
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, TrainSpec
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    check_fitted,
+)
 from repro.instrumentation import RunStats, Timer
 
 __all__ = ["KMeans"]
@@ -27,7 +34,8 @@ def _squared_distances(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
     return np.maximum(x_sq - 2.0 * cross + c_sq, 0.0)
 
 
-class KMeans:
+@register_estimator("kmeans")
+class KMeans(EstimatorProtocol):
     """Exhaustive K-Means with per-iteration instrumentation.
 
     Parameters
@@ -78,12 +86,37 @@ class KMeans:
         self.seed = seed
         self.track_cost = bool(track_cost)
 
-        self.centroids_: np.ndarray | None = None
-        self.labels_: np.ndarray | None = None
         self.cost_: float = float("nan")
         self.n_iter_: int = 0
         self.converged_: bool = False
-        self.stats_: RunStats | None = None
+        self._centroids: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._stats: RunStats | None = None
+
+    # ------------------------------------------------------------------
+    # fitted state (NotFittedError before fit)
+    # ------------------------------------------------------------------
+
+    def _is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def centroids_(self) -> np.ndarray:
+        """``(k, d)`` fitted centroids."""
+        check_fitted(self)
+        return self._centroids
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """``(n,)`` cluster id per training item."""
+        check_fitted(self)
+        return self._labels
+
+    @property
+    def stats_(self) -> RunStats | None:
+        """Fit statistics (``None`` on estimators restored from disk)."""
+        check_fitted(self)
+        return self._stats
 
     # ------------------------------------------------------------------
 
@@ -127,14 +160,14 @@ class KMeans:
                 break
 
         stats.converged = converged
-        self.centroids_ = centroids
-        self.labels_ = labels
+        self._centroids = centroids
+        self._labels = labels
         self.cost_ = float(
             _squared_distances(X, centroids)[np.arange(n), labels].sum()
         )
         self.n_iter_ = stats.n_iterations
         self.converged_ = converged
-        self.stats_ = stats
+        self._stats = stats
         return self
 
     def fit_predict(self, X: np.ndarray, initial_centroids: np.ndarray | None = None) -> np.ndarray:
@@ -145,8 +178,7 @@ class KMeans:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign new points to the nearest fitted centroid."""
-        if self.centroids_ is None:
-            raise NotFittedError("call fit before predict")
+        check_fitted(self)
         X = self._validate_X(X)
         if X.shape[1] != self.centroids_.shape[1]:
             raise DataValidationError(
@@ -154,6 +186,30 @@ class KMeans:
                 f"with {self.centroids_.shape[1]}"
             )
         return np.argmin(_squared_distances(X, self.centroids_), axis=1)
+
+    # ------------------------------------------------------------------
+    # artifact support
+    # ------------------------------------------------------------------
+
+    def fitted_model(self):
+        """Export the immutable :class:`~repro.api.ClusterModel` artifact."""
+        from repro.api.model import ClusterModel
+
+        check_fitted(self)
+        return ClusterModel(
+            algorithm=type(self)._registry_name,
+            n_clusters=self.n_clusters,
+            centroids=self._centroids,
+            lsh=None,
+            engine=EngineSpec(),
+            train=TrainSpec(
+                init=self.init, max_iter=self.max_iter, track_cost=self.track_cost
+            ),
+            labels=self._labels,
+            params=self.get_params(),
+            state=self._artifact_scalars(),
+            metadata=self._artifact_metadata(),
+        )
 
     # ------------------------------------------------------------------
 
@@ -218,8 +274,3 @@ class KMeans:
         out[populated] = sums[populated] / counts[populated, None]
         return out
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"KMeans(n_clusters={self.n_clusters}, init={self.init!r}, "
-            f"max_iter={self.max_iter}, seed={self.seed})"
-        )

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, LSHSpec, TrainSpec
 from repro.core.framework import BaseLSHAcceleratedClustering
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.kmeans.kmeans import _squared_distances
@@ -27,6 +29,7 @@ from repro.lsh.simhash import SimHasher
 __all__ = ["LSHKMeans"]
 
 
+@register_estimator("lsh-kmeans")
 class LSHKMeans(BaseLSHAcceleratedClustering):
     """K-Means accelerated with a banded LSH index over the items.
 
@@ -34,66 +37,55 @@ class LSHKMeans(BaseLSHAcceleratedClustering):
     ----------
     n_clusters:
         Number of clusters k.
-    bands, rows:
-        Banding parameters for the numeric LSH family.
-    family:
-        ``'simhash'`` (cosine; good for direction-clustered data) or
-        ``'pstable'`` (Euclidean; pick ``width`` near the intra-cluster
-        scale).
-    width:
-        Quantisation width for the p-stable family (ignored by SimHash).
-    seed, max_iter, update_refs, backend, n_jobs, n_shards,
-    precompute_neighbours, track_cost, predict_fallback:
+    lsh:
+        :class:`~repro.api.LSHSpec`; the family may be ``'simhash'``
+        (cosine; good for direction-clustered data) or ``'pstable'``
+        (Euclidean; pick ``width`` near the intra-cluster scale — the
+        default spec).
+    engine, train, precompute_neighbours:
         See :class:`~repro.core.framework.BaseLSHAcceleratedClustering`.
+    **legacy:
+        Deprecated flat kwargs (``bands=``, ``family=``, ``width=``,
+        ...), mapped onto the specs with a :class:`DeprecationWarning`.
 
     Examples
     --------
+    >>> from repro.api import LSHSpec
     >>> rng = np.random.default_rng(0)
     >>> X = np.vstack([rng.normal(0, 0.1, (20, 5)), rng.normal(5, 0.1, (20, 5))])
-    >>> model = LSHKMeans(n_clusters=2, bands=8, rows=2, seed=0).fit(X)
+    >>> spec = LSHSpec(family="pstable", bands=8, rows=2, seed=0)
+    >>> model = LSHKMeans(n_clusters=2, lsh=spec).fit(X)
     >>> sorted(np.bincount(model.labels_).tolist())
     [20, 20]
     """
 
+    _default_lsh = LSHSpec(family="pstable", bands=16, rows=4)
+    _default_engine = EngineSpec()
+    _default_train = TrainSpec()
+    _supported_families = ("simhash", "pstable")
+    _supported_inits = ("random",)
+    # Empty clusters keep their previous centroid in the mean update.
+    _supported_empty_policies = ("keep",)
+
     def __init__(
         self,
         n_clusters: int,
-        bands: int = 16,
-        rows: int = 4,
-        family: str = "pstable",
-        width: float = 4.0,
-        max_iter: int = 100,
-        seed: int | None = None,
-        update_refs: str | None = None,
-        backend="serial",
-        n_jobs: int | None = None,
-        n_shards: int | None = None,
+        lsh: LSHSpec | dict | None = None,
+        engine: EngineSpec | dict | None = None,
+        train: TrainSpec | dict | None = None,
         precompute_neighbours: bool = True,
-        track_cost: bool = True,
-        predict_fallback: str = "full",
+        **legacy,
     ):
         super().__init__(
-            n_clusters=n_clusters,
-            bands=bands,
-            rows=rows,
-            max_iter=max_iter,
-            seed=seed,
-            update_refs=update_refs,
-            backend=backend,
-            n_jobs=n_jobs,
-            n_shards=n_shards,
+            n_clusters,
+            lsh=lsh,
+            engine=engine,
+            train=train,
             precompute_neighbours=precompute_neighbours,
-            track_cost=track_cost,
-            predict_fallback=predict_fallback,
+            **legacy,
         )
-        if family not in ("simhash", "pstable"):
-            raise ConfigurationError(
-                f"family must be 'simhash' or 'pstable', got {family!r}"
-            )
-        self.family = family
-        self.width = float(width)
-        hash_seed = (0 if seed is None else int(seed)) ^ 0x5EEDBEEF
-        if family == "simhash":
+        hash_seed = (0 if self.seed is None else int(self.seed)) ^ 0x5EEDBEEF
+        if self.family == "simhash":
             self._hasher = SimHasher(self.bands * self.rows, seed=hash_seed)
         else:
             self._hasher = PStableHasher(

@@ -12,14 +12,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.api.protocol import EstimatorProtocol
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, TrainSpec
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    check_fitted,
+)
 from repro.instrumentation import RunStats, Timer
 from repro.kmeans.kmeans import _squared_distances
 
 __all__ = ["MiniBatchKMeans"]
 
 
-class MiniBatchKMeans:
+@register_estimator("minibatch-kmeans")
+class MiniBatchKMeans(EstimatorProtocol):
     """Sculley-style mini-batch K-Means.
 
     Parameters
@@ -66,12 +74,33 @@ class MiniBatchKMeans:
         self.tol = float(tol)
         self.seed = seed
 
-        self.centroids_: np.ndarray | None = None
-        self.labels_: np.ndarray | None = None
         self.cost_: float = float("nan")
         self.n_iter_: int = 0
         self.converged_: bool = False
-        self.stats_: RunStats | None = None
+        self._centroids: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._stats: RunStats | None = None
+
+    def _is_fitted(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def centroids_(self) -> np.ndarray:
+        """``(k, d)`` fitted centroids."""
+        check_fitted(self)
+        return self._centroids
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """``(n,)`` labels from the final full assignment pass."""
+        check_fitted(self)
+        return self._labels
+
+    @property
+    def stats_(self) -> RunStats | None:
+        """Fit statistics (``None`` on estimators restored from disk)."""
+        check_fitted(self)
+        return self._stats
 
     def fit(
         self, X: np.ndarray, initial_centroids: np.ndarray | None = None
@@ -126,12 +155,12 @@ class MiniBatchKMeans:
         distances = _squared_distances(X, centroids)
         labels = np.argmin(distances, axis=1)
         stats.converged = converged
-        self.centroids_ = centroids
-        self.labels_ = labels
+        self._centroids = centroids
+        self._labels = labels
         self.cost_ = float(distances[np.arange(n), labels].sum())
         self.n_iter_ = stats.n_iterations
         self.converged_ = converged
-        self.stats_ = stats
+        self._stats = stats
         return self
 
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
@@ -142,8 +171,7 @@ class MiniBatchKMeans:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign new points to the nearest fitted centroid."""
-        if self.centroids_ is None:
-            raise NotFittedError("call fit before predict")
+        check_fitted(self)
         X = self._validate_X(X)
         if X.shape[1] != self.centroids_.shape[1]:
             raise DataValidationError(
@@ -160,9 +188,24 @@ class MiniBatchKMeans:
             raise DataValidationError("X contains NaN or infinite values")
         return X
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"MiniBatchKMeans(n_clusters={self.n_clusters}, "
-            f"batch_size={self.batch_size}, max_iter={self.max_iter}, "
-            f"seed={self.seed})"
+    # ------------------------------------------------------------------
+    # artifact support
+    # ------------------------------------------------------------------
+
+    def fitted_model(self):
+        """Export the immutable :class:`~repro.api.ClusterModel` artifact."""
+        from repro.api.model import ClusterModel
+
+        check_fitted(self)
+        return ClusterModel(
+            algorithm=type(self)._registry_name,
+            n_clusters=self.n_clusters,
+            centroids=self._centroids,
+            lsh=None,
+            engine=EngineSpec(),
+            train=TrainSpec(max_iter=self.max_iter),
+            labels=self._labels,
+            params=self.get_params(),
+            state=self._artifact_scalars(),
+            metadata=self._artifact_metadata(),
         )

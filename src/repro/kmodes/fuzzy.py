@@ -18,14 +18,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.api.protocol import EstimatorProtocol
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, TrainSpec
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    check_fitted,
+)
 from repro.instrumentation import RunStats, Timer
 from repro.kmodes.initialization import resolve_init
 
 __all__ = ["FuzzyKModes"]
 
 
-class FuzzyKModes:
+@register_estimator("fuzzy-kmodes")
+class FuzzyKModes(EstimatorProtocol):
     """Fuzzy K-Modes with membership exponent ``alpha``.
 
     Parameters
@@ -58,10 +66,12 @@ class FuzzyKModes:
     Examples
     --------
     >>> X = np.array([[0, 1], [0, 1], [5, 9], [5, 9]])
-    >>> model = FuzzyKModes(n_clusters=2, alpha=1.5, seed=0).fit(X)
+    >>> model = FuzzyKModes(n_clusters=2, alpha=1.5, seed=1).fit(X)
     >>> sorted(np.bincount(model.labels_).tolist())
     [2, 2]
     """
+
+    _centroid_attr = "_modes"
 
     def __init__(
         self,
@@ -88,13 +98,44 @@ class FuzzyKModes:
         self.tol = float(tol)
         self.seed = seed
 
-        self.modes_: np.ndarray | None = None
-        self.memberships_: np.ndarray | None = None
-        self.labels_: np.ndarray | None = None
         self.cost_: float = float("nan")
         self.n_iter_: int = 0
         self.converged_: bool = False
-        self.stats_: RunStats | None = None
+        self._modes: np.ndarray | None = None
+        self._fitted_memberships: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._stats: RunStats | None = None
+
+    # ------------------------------------------------------------------
+    # fitted state (NotFittedError before fit)
+    # ------------------------------------------------------------------
+
+    def _is_fitted(self) -> bool:
+        return self._modes is not None
+
+    @property
+    def modes_(self) -> np.ndarray:
+        """``(k, m)`` fitted cluster modes."""
+        check_fitted(self)
+        return self._modes
+
+    @property
+    def memberships_(self) -> np.ndarray:
+        """``(n, k)`` row-stochastic training memberships."""
+        check_fitted(self)
+        return self._fitted_memberships
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """``(n,)`` hard labels (argmax memberships)."""
+        check_fitted(self)
+        return self._labels
+
+    @property
+    def stats_(self) -> RunStats | None:
+        """Fit statistics (``None`` on estimators restored from disk)."""
+        check_fitted(self)
+        return self._stats
 
     # ------------------------------------------------------------------
 
@@ -146,13 +187,13 @@ class FuzzyKModes:
             previous_cost = cost
 
         stats.converged = converged
-        self.modes_ = modes
-        self.memberships_ = memberships
-        self.labels_ = np.argmax(memberships, axis=1)
+        self._modes = modes
+        self._fitted_memberships = memberships
+        self._labels = np.argmax(memberships, axis=1)
         self.cost_ = stats.costs[-1]
         self.n_iter_ = stats.n_iterations
         self.converged_ = converged
-        self.stats_ = stats
+        self._stats = stats
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -161,8 +202,7 @@ class FuzzyKModes:
 
     def predict_memberships(self, X: np.ndarray) -> np.ndarray:
         """Membership matrix for new items."""
-        if self.modes_ is None:
-            raise NotFittedError("call fit before predict")
+        check_fitted(self)
         X = self._validate_X(X)
         if X.shape[1] != self.modes_.shape[1]:
             raise DataValidationError(
@@ -211,6 +251,36 @@ class FuzzyKModes:
             memberships[regular] = inverse / inverse.sum(axis=1, keepdims=True)
         return memberships
 
+    def fitted_model(self):
+        """Export the immutable :class:`~repro.api.ClusterModel` artifact.
+
+        Memberships are training-run state (they describe the training
+        items, like ``labels``); the artifact carries the hard labels
+        and modes, and a reconstructed estimator serves both
+        ``predict`` and ``predict_memberships``.
+        """
+        from repro.api.model import ClusterModel
+
+        check_fitted(self)
+        return ClusterModel(
+            algorithm=type(self)._registry_name,
+            n_clusters=self.n_clusters,
+            centroids=self._modes,
+            lsh=None,
+            engine=EngineSpec(),
+            train=TrainSpec(init=self.init, max_iter=self.max_iter),
+            labels=self._labels,
+            params=self.get_params(),
+            state=self._artifact_scalars(),
+            metadata=self._artifact_metadata(),
+        )
+
+    def _restore_fit_state(self, model) -> None:
+        super()._restore_fit_state(model)
+        # memberships describe the training items; they are not part of
+        # the artifact, so a restored estimator has none
+        self._fitted_memberships = None
+
     def _update_modes(
         self, X: np.ndarray, memberships: np.ndarray, previous: np.ndarray
     ) -> np.ndarray:
@@ -226,9 +296,3 @@ class FuzzyKModes:
             populated = tally.sum(axis=1) > 0
             modes[populated, j] = values[winning[populated]]
         return modes
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"FuzzyKModes(n_clusters={self.n_clusters}, alpha={self.alpha}, "
-            f"max_iter={self.max_iter}, seed={self.seed})"
-        )

@@ -20,7 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, DataValidationError, NotFittedError
+from repro.api.protocol import EstimatorProtocol
+from repro.api.registry import register_estimator
+from repro.api.specs import EngineSpec, TrainSpec
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    check_fitted,
+)
 from repro.instrumentation import RunStats, Timer
 from repro.kmodes.cost import clustering_cost
 from repro.kmodes.initialization import resolve_init
@@ -29,7 +36,8 @@ from repro.kmodes.modes import compute_modes
 __all__ = ["KModes"]
 
 
-class KModes:
+@register_estimator("kmodes")
+class KModes(EstimatorProtocol):
     """Exhaustive K-Modes clustering for categorical data.
 
     Parameters
@@ -76,6 +84,8 @@ class KModes:
     [2, 2]
     """
 
+    _centroid_attr = "_modes"
+
     def __init__(
         self,
         n_clusters: int,
@@ -101,12 +111,37 @@ class KModes:
         self.track_cost = bool(track_cost)
         self.chunk_items = int(chunk_items)
 
-        self.modes_: np.ndarray | None = None
-        self.labels_: np.ndarray | None = None
         self.cost_: float = float("nan")
         self.n_iter_: int = 0
         self.converged_: bool = False
-        self.stats_: RunStats | None = None
+        self._modes: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._stats: RunStats | None = None
+
+    # ------------------------------------------------------------------
+    # fitted state (NotFittedError before fit)
+    # ------------------------------------------------------------------
+
+    def _is_fitted(self) -> bool:
+        return self._modes is not None
+
+    @property
+    def modes_(self) -> np.ndarray:
+        """``(k, m)`` fitted cluster modes."""
+        check_fitted(self)
+        return self._modes
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """``(n,)`` cluster id per training item."""
+        check_fitted(self)
+        return self._labels
+
+    @property
+    def stats_(self) -> RunStats | None:
+        """Fit statistics (``None`` on estimators restored from disk)."""
+        check_fitted(self)
+        return self._stats
 
     # ------------------------------------------------------------------
     # fitting
@@ -162,12 +197,12 @@ class KModes:
                 break
 
         stats.converged = converged
-        self.modes_ = modes
-        self.labels_ = labels
+        self._modes = modes
+        self._labels = labels
         self.cost_ = float(clustering_cost(X, modes, labels))
         self.n_iter_ = stats.n_iterations
         self.converged_ = converged
-        self.stats_ = stats
+        self._stats = stats
         return self
 
     def fit_predict(self, X: np.ndarray, initial_modes: np.ndarray | None = None) -> np.ndarray:
@@ -182,8 +217,7 @@ class KModes:
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign new items to the nearest fitted mode (exhaustively)."""
-        if self.modes_ is None:
-            raise NotFittedError("call fit before predict")
+        check_fitted(self)
         X = self._validate_X(X)
         if X.shape[1] != self.modes_.shape[1]:
             raise DataValidationError(
@@ -257,8 +291,34 @@ class KModes:
         moves = int(np.count_nonzero(new_labels != labels))
         return new_labels, moves
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"KModes(n_clusters={self.n_clusters}, init={self.init!r}, "
-            f"max_iter={self.max_iter}, seed={self.seed})"
+    # ------------------------------------------------------------------
+    # artifact support
+    # ------------------------------------------------------------------
+
+    def fitted_model(self):
+        """Export the immutable :class:`~repro.api.ClusterModel` artifact.
+
+        The exhaustive baseline has no LSH index, so the artifact
+        carries ``lsh=None`` and serves ``predict`` by full scans —
+        exactly like this estimator.
+        """
+        from repro.api.model import ClusterModel
+
+        check_fitted(self)
+        return ClusterModel(
+            algorithm=type(self)._registry_name,
+            n_clusters=self.n_clusters,
+            centroids=self._modes,
+            lsh=None,
+            engine=EngineSpec(chunk_items=self.chunk_items),
+            train=TrainSpec(
+                init=self.init,
+                max_iter=self.max_iter,
+                empty_cluster_policy=self.empty_cluster_policy,
+                track_cost=self.track_cost,
+            ),
+            labels=self._labels,
+            params=self.get_params(),
+            state=self._artifact_scalars(),
+            metadata=self._artifact_metadata(),
         )

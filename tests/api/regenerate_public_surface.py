@@ -1,0 +1,21 @@
+"""Regenerate the public-API snapshot (run after an intentional change).
+
+Usage:  PYTHONPATH=src python tests/api/regenerate_public_surface.py
+"""
+
+import json
+from pathlib import Path
+
+from test_public_surface import SNAPSHOT_PATH, current_surface
+
+
+def main() -> None:
+    SNAPSHOT_PATH.write_text(
+        json.dumps(current_surface(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {SNAPSHOT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

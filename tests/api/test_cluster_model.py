@@ -1,0 +1,195 @@
+"""Unit tests for the immutable ClusterModel artifact."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import ClusterModel, EngineSpec, LSHSpec, TrainSpec
+from repro.core.mh_kmodes import MHKModes
+from repro.core.streaming import StreamingMHKModes
+from repro.data.datgen import RuleBasedGenerator
+from repro.data.io import load_cluster_model, load_model, save_model
+from repro.exceptions import ConfigurationError, DataValidationError
+
+K = 6
+
+
+@pytest.fixture(scope="module")
+def data():
+    return RuleBasedGenerator(
+        n_clusters=K, n_attributes=12, domain_size=300, seed=9
+    ).generate(200)
+
+
+@pytest.fixture(scope="module")
+def novel():
+    return RuleBasedGenerator(
+        n_clusters=K, n_attributes=12, domain_size=300, seed=10
+    ).generate(40)
+
+
+@pytest.fixture(scope="module")
+def fitted(data):
+    return MHKModes(n_clusters=K, lsh=LSHSpec(bands=8, rows=2, seed=1)).fit(data.X)
+
+
+class TestImmutability:
+    def test_fields_frozen(self, fitted):
+        artifact = fitted.fitted_model()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            artifact.n_clusters = 3
+
+    def test_arrays_read_only_copies(self, fitted):
+        artifact = fitted.fitted_model()
+        for array in (artifact.centroids, artifact.labels, artifact.band_keys,
+                      artifact.assignments):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 0
+        # the artifact owns copies: mutating the estimator afterwards
+        # cannot corrupt an already exported artifact
+        assert artifact.centroids is not fitted.centroids_
+
+    def test_mappings_read_only(self, fitted):
+        artifact = fitted.fitted_model()
+        with pytest.raises(TypeError):
+            artifact.params["absent_code"] = 99
+        with pytest.raises(TypeError):
+            artifact.state["cost"] = 0.0
+
+    def test_training_mutation_does_not_leak_into_artifact(self, data):
+        model = MHKModes(n_clusters=K, lsh=LSHSpec(bands=8, rows=2, seed=1))
+        model.fit(data.X)
+        artifact = model.fitted_model()
+        before = artifact.centroids.copy()
+        model.fit(data.X[:100])  # refit mutates the estimator
+        assert np.array_equal(artifact.centroids, before)
+
+
+class TestValidation:
+    def test_band_keys_require_assignments(self):
+        with pytest.raises(DataValidationError):
+            ClusterModel(
+                algorithm="mh-kmodes",
+                n_clusters=2,
+                centroids=np.zeros((2, 3), dtype=np.int64),
+                engine=EngineSpec(),
+                train=TrainSpec(),
+                lsh=LSHSpec(),
+                band_keys=np.zeros((4, 2), dtype=np.int64),
+            )
+
+    def test_mismatched_index_lengths_rejected(self):
+        with pytest.raises(DataValidationError):
+            ClusterModel(
+                algorithm="mh-kmodes",
+                n_clusters=2,
+                centroids=np.zeros((2, 3), dtype=np.int64),
+                engine=EngineSpec(),
+                train=TrainSpec(),
+                lsh=LSHSpec(),
+                band_keys=np.zeros((4, 2), dtype=np.int64),
+                assignments=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterModel(
+                algorithm="mh-kmodes",
+                n_clusters=2,
+                centroids=np.zeros((2, 3)),
+                engine={"backend": "serial"},
+                train=TrainSpec(),
+            )
+
+    def test_indexless_artifact_predict_raises_not_fitted(self):
+        from repro.exceptions import NotFittedError
+
+        # band_keys/assignments are optional; an LSH estimator restored
+        # without them must fail with NotFittedError, not AttributeError
+        artifact = ClusterModel(
+            algorithm="mh-kmodes",
+            n_clusters=2,
+            centroids=np.zeros((2, 3), dtype=np.int64),
+            engine=EngineSpec(),
+            train=TrainSpec(),
+            lsh=LSHSpec(),
+        )
+        with pytest.raises(NotFittedError):
+            artifact.predict(np.zeros((1, 3), dtype=np.int64))
+
+    def test_unknown_algorithm_fails_at_serving(self):
+        artifact = ClusterModel(
+            algorithm="not-an-estimator",
+            n_clusters=2,
+            centroids=np.zeros((2, 3), dtype=np.int64),
+            engine=EngineSpec(),
+            train=TrainSpec(),
+        )
+        with pytest.raises(ConfigurationError):
+            artifact.to_estimator()
+
+
+class TestServing:
+    def test_predict_without_training_estimator(self, fitted, data, novel, tmp_path):
+        path = save_model(fitted.fitted_model(), tmp_path / "artifact")
+        # a fresh process would start exactly here: artifact only
+        artifact = load_cluster_model(path)
+        assert np.array_equal(artifact.predict(novel.X), fitted.predict(novel.X))
+        assert np.array_equal(artifact.predict(data.X), fitted.predict(data.X))
+
+    def test_to_estimator_round_trip(self, fitted, novel):
+        restored = fitted.fitted_model().to_estimator()
+        assert isinstance(restored, MHKModes)
+        assert restored.get_params() == fitted.get_params()
+        assert np.array_equal(restored.labels_, fitted.labels_)
+        assert np.array_equal(restored.predict(novel.X), fitted.predict(novel.X))
+
+    def test_load_model_returns_fitted_estimator(self, fitted, novel, tmp_path):
+        loaded = load_model(save_model(fitted, tmp_path / "model"))
+        assert isinstance(loaded, MHKModes)
+        assert np.array_equal(loaded.predict(novel.X), fitted.predict(novel.X))
+
+    def test_save_accepts_estimator_and_artifact_identically(
+        self, fitted, tmp_path
+    ):
+        from_estimator = load_cluster_model(
+            save_model(fitted, tmp_path / "via_estimator")
+        )
+        from_artifact = load_cluster_model(
+            save_model(fitted.fitted_model(), tmp_path / "via_artifact")
+        )
+        assert from_estimator == from_artifact
+
+    def test_artifact_save_load_methods(self, fitted, novel, tmp_path):
+        artifact = fitted.fitted_model()
+        loaded = ClusterModel.load(artifact.save(tmp_path / "artifact"))
+        assert loaded == artifact
+        assert np.array_equal(loaded.predict(novel.X), artifact.predict(novel.X))
+
+    def test_specs_survive_round_trip(self, fitted, tmp_path):
+        artifact = load_cluster_model(save_model(fitted, tmp_path / "m"))
+        assert artifact.lsh == LSHSpec(bands=8, rows=2, seed=1)
+        assert artifact.engine == EngineSpec()
+        assert artifact.train == TrainSpec()
+        assert artifact.algorithm == "mh-kmodes"
+
+
+class TestStreamingArtifact:
+    def test_stream_exports_serving_artifact(self, data, novel, tmp_path):
+        stream = StreamingMHKModes(
+            n_clusters=K, lsh=LSHSpec(bands=8, rows=2, seed=1)
+        )
+        stream.bootstrap(data.X[:120])
+        stream.extend(data.X[120:])
+        artifact = stream.fitted_model()
+        # streamed arrivals are in the exported index
+        assert artifact.n_items == len(data.X)
+        assert int(artifact.state["n_seen"]) == len(data.X)
+        loaded = load_cluster_model(save_model(artifact, tmp_path / "stream"))
+        predictions = loaded.predict(novel.X)
+        assert predictions.shape == (len(novel.X),)
+        assert np.array_equal(predictions, artifact.predict(novel.X))
+        # serving uses the stream's current modes
+        assert np.array_equal(loaded.centroids, stream.modes_)

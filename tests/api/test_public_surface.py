@@ -1,0 +1,54 @@
+"""Public-API snapshot: repro.__all__ and spec fields vs a checked-in file.
+
+An unintentional export or a renamed spec field is an API break for
+downstream users; this test makes any change to the public surface an
+explicit, reviewable diff of ``public_surface.json``.  Regenerate with
+
+    PYTHONPATH=src python tests/api/regenerate_public_surface.py
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import repro
+from repro.api import EngineSpec, LSHSpec, TrainSpec, available_estimators
+
+SNAPSHOT_PATH = Path(__file__).parent / "public_surface.json"
+
+
+def current_surface() -> dict:
+    return {
+        "repro_all": sorted(repro.__all__),
+        "estimators": sorted(available_estimators()),
+        "spec_fields": {
+            cls.__name__: [f.name for f in dataclasses.fields(cls)]
+            for cls in (LSHSpec, EngineSpec, TrainSpec)
+        },
+    }
+
+
+class TestPublicSurfaceSnapshot:
+    def test_snapshot_file_exists(self):
+        assert SNAPSHOT_PATH.exists(), (
+            "missing public-surface snapshot; run "
+            "tests/api/regenerate_public_surface.py"
+        )
+
+    def test_surface_matches_snapshot(self):
+        snapshot = json.loads(SNAPSHOT_PATH.read_text(encoding="utf-8"))
+        surface = current_surface()
+        assert surface["repro_all"] == snapshot["repro_all"], (
+            "repro.__all__ changed; if intentional, regenerate "
+            "tests/api/public_surface.json and review the diff"
+        )
+        assert surface["estimators"] == snapshot["estimators"]
+        assert surface["spec_fields"] == snapshot["spec_fields"], (
+            "spec field names changed; this breaks to_dict/from_dict "
+            "round-trips of persisted models — regenerate the snapshot "
+            "only with a format-version bump or a migration story"
+        )
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.api import LSHSpec
 from repro.core.framework import BaseLSHAcceleratedClustering
 from repro.exceptions import ConfigurationError
 from repro.lsh.minhash import MinHasher
@@ -16,8 +17,12 @@ class TinyMHKModes(BaseLSHAcceleratedClustering):
     bugs cannot hide behind the production subclass.
     """
 
-    def __init__(self, n_clusters, bands=8, rows=1, **kwargs):
-        super().__init__(n_clusters, bands, rows, **kwargs)
+    _default_lsh = LSHSpec(bands=8, rows=1)
+
+    def __init__(self, n_clusters, bands=8, rows=1, seed=None, **kwargs):
+        super().__init__(
+            n_clusters, lsh=LSHSpec(bands=bands, rows=rows, seed=seed), **kwargs
+        )
         self._hasher = MinHasher(bands * rows, seed=0)
 
     def _algorithm_name(self):
@@ -122,6 +127,12 @@ class TestFrameworkLoop:
             TinyMHKModes(n_clusters=2, predict_fallback="nope")
 
     def test_repr_mentions_parameters(self):
-        text = repr(TinyMHKModes(n_clusters=3, bands=8, rows=1, seed=1))
+        text = repr(TinyMHKModes(n_clusters=3, bands=16, rows=1, seed=1))
         assert "n_clusters=3" in text
-        assert "bands=8" in text
+        assert "bands=16" in text
+
+    def test_repr_omits_default_parameters(self):
+        # bands=8 / rows=1 are TinyMHKModes defaults, so the repr shows
+        # only what was actually tuned.
+        text = repr(TinyMHKModes(n_clusters=3, bands=8, rows=1, seed=1))
+        assert text == "TinyMHKModes(n_clusters=3, seed=1)"

@@ -82,8 +82,10 @@ class TestMHKModesRoundTrip:
         sidecar = json.loads(path.with_suffix(".json").read_text())
         assert sidecar["kind"] == "repro.Model"
         assert sidecar["class"] == "MHKModes"
-        assert sidecar["params"]["bands"] == 8
-        assert sidecar["params"]["backend"] == "serial"
+        assert sidecar["algorithm"] == "mh-kmodes"
+        assert sidecar["specs"]["lsh"]["bands"] == 8
+        assert sidecar["specs"]["engine"]["backend"] == "serial"
+        assert sidecar["specs"]["train"]["max_iter"] == 100
 
 
 class TestOtherEstimators:

@@ -118,6 +118,132 @@ class TestClusterCommand:
 
         assert load_model(tmp_path / "model.npz").n_clusters == 8
 
+    def test_spec_file_configures_run(self, dataset_path, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "lsh": {"bands": 8, "rows": 2, "seed": 0},
+                    "train": {"max_iter": 5},
+                }
+            )
+        )
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--spec", str(spec_path),
+            ]
+        )
+        assert code == 0
+        assert "MH-K-Modes 8b 2r" in capsys.readouterr().out
+
+    def test_spec_file_round_trips_to_dict(self, dataset_path, tmp_path, capsys):
+        import json
+
+        from repro.api import EngineSpec, LSHSpec, TrainSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "lsh": LSHSpec(bands=4, rows=1, seed=0).to_dict(),
+                    "engine": EngineSpec().to_dict(),
+                    "train": TrainSpec(max_iter=3).to_dict(),
+                }
+            )
+        )
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--spec", str(spec_path),
+            ]
+        )
+        assert code == 0
+        assert "MH-K-Modes 4b 1r" in capsys.readouterr().out
+
+    def test_flags_override_spec_file(self, dataset_path, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps({"lsh": {"bands": 8, "rows": 2, "seed": 0}})
+        )
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--spec", str(spec_path),
+                "--bands", "4",  # flag wins over the file's bands=8
+            ]
+        )
+        assert code == 0
+        assert "MH-K-Modes 4b 2r" in capsys.readouterr().out
+
+    def test_backend_flag_overrides_spec_start_method(
+        self, dataset_path, tmp_path, capsys
+    ):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "lsh": {"bands": 4, "rows": 1, "seed": 0},
+                    "engine": {"backend": "process", "start_method": "fork"},
+                    "train": {"max_iter": 3},
+                }
+            )
+        )
+        # moving off the process backend must drop the file's
+        # start_method along with the backend it configured
+        code = main(
+            [
+                "cluster", str(dataset_path),
+                "--clusters", "8", "--spec", str(spec_path),
+                "--backend", "serial",
+            ]
+        )
+        assert code == 0
+        assert "backend=serial" in capsys.readouterr().out
+
+    def test_spec_file_without_seed_keeps_cli_default(
+        self, dataset_path, tmp_path, capsys
+    ):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"train": {"max_iter": 3}}))
+        outputs = []
+        for _ in range(2):
+            code = main(
+                [
+                    "cluster", str(dataset_path),
+                    "--clusters", "8", "--spec", str(spec_path),
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        # the historic seed=0 default applies (reproducible runs), so
+        # two identical invocations print identical cost lines
+        cost = [l for l in outputs[0].splitlines() if l.startswith("cost")]
+        assert cost == [l for l in outputs[1].splitlines() if l.startswith("cost")]
+
+    def test_bad_spec_file_rejected(self, dataset_path, tmp_path):
+        import json
+
+        from repro.exceptions import ConfigurationError
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"lsh": {"bandz": 8}}))
+        with pytest.raises(ConfigurationError):
+            main(
+                [
+                    "cluster", str(dataset_path),
+                    "--clusters", "8", "--spec", str(spec_path),
+                ]
+            )
+
     def test_kmodes_warns_on_ignored_engine_flags(self, dataset_path, capsys):
         code = main(
             [
