@@ -1,0 +1,182 @@
+"""Serving throughput — ModelServer vs single-process ClusterModel.predict.
+
+The serving scenario on the engine-scaling workload (20 000 items,
+k = 800, 60 attributes): a model is fitted, saved and re-loaded from
+disk, then a stream of 10 × 2 000-row predict requests is answered by
+
+* ``single-process/cold`` — the naive serving path: a freshly loaded
+  ``ClusterModel`` answering the stream in-process, paying its lazy
+  index rebuild inside the serving window (first request);
+* ``single-process/warm`` — the same artifact after warm-up, i.e. the
+  pure in-process predict throughput;
+* ``ModelServer`` on serial / thread / process backends — index
+  rebuilt once at load (``load_s``, outside the serving window, which
+  is the point of a serving layer), a persistent pool kept warm
+  across requests, batches chunked across workers through the shared
+  request buffer.
+
+Labels must be bit-identical along every path (asserted everywhere);
+items/sec land in machine-readable
+``benchmarks/results/BENCH_serve.json``.  The wall-clock acceptance —
+the process-backend server beats single-process
+``ClusterModel.predict`` on both the cold and the warm stream — is
+local-only (shared CI runners are too noisy to gate on timing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.api import LSHSpec, ServeSpec, TrainSpec
+from repro.core.mh_kmodes import MHKModes
+from repro.data.datgen import RuleBasedGenerator
+from repro.data.io import load_cluster_model, save_model
+from repro.serve import ModelServer
+
+N_ITEMS = 20_000
+N_CLUSTERS = 800
+N_ATTRIBUTES = 60
+SEED = 2016
+N_REQUESTS = 10
+REQUEST_ROWS = N_ITEMS // N_REQUESTS
+STREAM_REPEATS = 4
+
+#: (label, backend, n_jobs) server configurations, process first so its
+#: fork reflects the leanest heap.
+SERVERS = [
+    ("process x2", "process", 2),
+    ("thread x2", "thread", 2),
+    ("serial", "serial", None),
+]
+
+
+@pytest.fixture(scope="module")
+def saved_model(tmp_path_factory):
+    dataset = RuleBasedGenerator(
+        n_clusters=N_CLUSTERS,
+        n_attributes=N_ATTRIBUTES,
+        domain_size=40_000,
+        noise_rate=0.1,
+        seed=SEED,
+    ).generate(N_ITEMS)
+    rng = np.random.default_rng(SEED)
+    initial = dataset.X[rng.choice(N_ITEMS, size=N_CLUSTERS, replace=False)].copy()
+    model = MHKModes(
+        n_clusters=N_CLUSTERS,
+        lsh=LSHSpec(bands=20, rows=5, seed=SEED),
+        train=TrainSpec(max_iter=2, update_refs="batch"),
+    )
+    model.fit(dataset.X, initial_centroids=initial)
+    path = save_model(
+        model,
+        tmp_path_factory.mktemp("serving") / "model",
+        serve=ServeSpec(backend="process", n_jobs=2, chunk_items=2048, max_batch=N_ITEMS),
+    )
+    requests = [
+        dataset.X[i * REQUEST_ROWS : (i + 1) * REQUEST_ROWS]
+        for i in range(N_REQUESTS)
+    ]
+    return path, requests
+
+
+def _stream(answer, requests) -> tuple[float, list[np.ndarray]]:
+    start = time.perf_counter()
+    labels = [answer(request) for request in requests]
+    return time.perf_counter() - start, labels
+
+
+def _best_stream(answer, requests, repeats=STREAM_REPEATS):
+    best_s, labels = float("inf"), None
+    for _ in range(repeats):
+        elapsed, labels = _stream(answer, requests)
+        best_s = min(best_s, elapsed)
+    return best_s, labels
+
+
+def test_serve_throughput(saved_model):
+    path, requests = saved_model
+    total_items = sum(len(request) for request in requests)
+    record: dict = {
+        "workload": {
+            "n_items": N_ITEMS,
+            "n_clusters": N_CLUSTERS,
+            "n_attributes": N_ATTRIBUTES,
+            "bands": 20,
+            "rows": 5,
+            "seed": SEED,
+            "requests": N_REQUESTS,
+            "rows_per_request": REQUEST_ROWS,
+            "algorithm": "MH-K-Modes",
+        },
+        "paths": {},
+    }
+
+    # -- single-process baselines: ClusterModel.predict -----------------
+    cold_artifact = load_cluster_model(path)
+    cold_s, reference = _stream(cold_artifact.predict, requests)
+    record["paths"]["single-process/cold"] = {
+        "stream_s": round(cold_s, 4),
+        "items_per_s": round(total_items / cold_s, 1),
+        "note": "fresh ClusterModel; lazy index rebuild paid by request 1",
+    }
+    warm_s, warm_labels = _best_stream(cold_artifact.predict, requests)
+    record["paths"]["single-process/warm"] = {
+        "stream_s": round(warm_s, 4),
+        "items_per_s": round(total_items / warm_s, 1),
+    }
+
+    # -- ModelServer on every backend ------------------------------------
+    server_streams: dict[str, float] = {}
+    for label, backend, n_jobs in SERVERS:
+        spec = ServeSpec(
+            backend=backend, n_jobs=n_jobs, chunk_items=2048, max_batch=N_ITEMS
+        )
+        start = time.perf_counter()
+        server = ModelServer.from_path(path, spec=spec)
+        load_s = time.perf_counter() - start
+        with server:
+            server.predict(requests[0])  # warm the pool before timing
+            stream_s, labels = _best_stream(server.predict, requests)
+        server_streams[label] = stream_s
+        record["paths"][f"server/{label}"] = {
+            "load_s": round(load_s, 4),
+            "stream_s": round(stream_s, 4),
+            "items_per_s": round(total_items / stream_s, 1),
+        }
+        # correctness gate runs everywhere: identical labels per request
+        for got, expected in zip(labels, reference):
+            assert np.array_equal(got, expected), label
+
+    for got, expected in zip(warm_labels, reference):
+        assert np.array_equal(got, expected)
+
+    record["speedups"] = {
+        "process_vs_cold_single": round(cold_s / server_streams["process x2"], 2),
+        "process_vs_warm_single": round(warm_s / server_streams["process x2"], 2),
+        "thread_vs_warm_single": round(warm_s / server_streams["thread x2"], 2),
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\n{json.dumps(record, indent=2)}\n")
+
+    # wall-clock acceptance is local-only (CI runners are too noisy)
+    if os.environ.get("CI"):
+        pytest.skip("wall-clock speedup assertion is flaky on shared CI runners")
+    process_s = server_streams["process x2"]
+    assert process_s < cold_s, (
+        f"process server stream {process_s:.3f}s did not beat the cold "
+        f"single-process baseline {cold_s:.3f}s"
+    )
+    assert process_s < warm_s, (
+        f"process server stream {process_s:.3f}s did not beat the warm "
+        f"single-process baseline {warm_s:.3f}s"
+    )

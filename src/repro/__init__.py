@@ -40,8 +40,11 @@ Package map — each subpackage is documented in its own ``__init__``:
 * :mod:`repro.kmodes` — exhaustive K-Modes baseline
 * :mod:`repro.kmeans` — K-Means / mini-batch / LSH-K-Means (numeric extension)
 * :mod:`repro.lsh` — MinHash, banding, the clustered index, SimHash, p-stable
-* :mod:`repro.engine` — serial/thread/process execution backends and the
+* :mod:`repro.engine` — serial/thread/process execution backends, the
   sharded index powering parallel fits (``EngineSpec`` / ``backend=``)
+  and the persistent worker pools shared with serving
+* :mod:`repro.serve` — :class:`ModelServer`, concurrent batch-predict
+  serving on :class:`ClusterModel` (``ServeSpec`` / ``repro serve``)
 * :mod:`repro.data` — datgen clone, Yahoo-like corpus, TF-IDF pipeline, I/O
 * :mod:`repro.metrics` — purity, NMI, ARI, Jaccard
 * :mod:`repro.experiments` — configs/runner/reports for every paper figure
@@ -53,6 +56,7 @@ from repro.api import (
     EngineSpec,
     EstimatorProtocol,
     LSHSpec,
+    ServeSpec,
     TrainSpec,
     available_estimators,
     make_estimator,
@@ -75,6 +79,7 @@ from repro.data import (
     corpus_to_dataset,
     load_cluster_model,
     load_model,
+    load_serve_spec,
     save_model,
 )
 from repro.engine import (
@@ -103,6 +108,7 @@ from repro.metrics import (
     jaccard_similarity,
     normalized_mutual_information,
 )
+from repro.serve import ModelServer
 
 __version__ = "1.0.0"
 
@@ -112,10 +118,13 @@ __all__ = [
     "LSHSpec",
     "EngineSpec",
     "TrainSpec",
+    "ServeSpec",
     "ClusterModel",
     "EstimatorProtocol",
     "make_estimator",
     "available_estimators",
+    # serving
+    "ModelServer",
     # core
     "MHKModes",
     "error_bound",

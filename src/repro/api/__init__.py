@@ -3,8 +3,9 @@
 The declarative layer over the whole library:
 
 * :mod:`repro.api.specs` — frozen, validated config objects
-  (:class:`LSHSpec`, :class:`EngineSpec`, :class:`TrainSpec`) with
-  ``replace`` / ``to_dict`` / ``from_dict`` round-tripping;
+  (:class:`LSHSpec`, :class:`EngineSpec`, :class:`TrainSpec`,
+  :class:`ServeSpec`) with ``replace`` / ``to_dict`` / ``from_dict``
+  round-tripping;
 * :mod:`repro.api.protocol` — the :class:`EstimatorProtocol` mixin
   every estimator shares (``get_params`` / ``set_params`` / ``clone``
   / non-default ``repr``);
@@ -50,6 +51,7 @@ from repro.api.specs import (
     UPDATE_REFS_MODES,
     EngineSpec,
     LSHSpec,
+    ServeSpec,
     Spec,
     TrainSpec,
 )
@@ -59,6 +61,7 @@ __all__ = [
     "LSHSpec",
     "EngineSpec",
     "TrainSpec",
+    "ServeSpec",
     "LSH_FAMILIES",
     "BACKEND_NAMES",
     "START_METHODS",

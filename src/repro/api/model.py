@@ -206,6 +206,20 @@ class ClusterModel:
         restore(self)
         return estimator
 
+    def frozen_estimator(self):
+        """A serving estimator whose index is frozen read-only.
+
+        Like :meth:`to_estimator`, but the rebuilt clustered index (if
+        any) is switched into read-only query mode — safe for
+        concurrent queries from any number of threads or serving
+        workers, and unable to drift from the artifact.
+        """
+        estimator = self.to_estimator()
+        index = getattr(estimator, "_index", None)
+        if index is not None:
+            index.freeze()
+        return estimator
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign new items using only this artifact.
 
@@ -216,7 +230,9 @@ class ClusterModel:
         """
         server = getattr(self, "_server_cache", None)
         if server is None:
-            server = self.to_estimator()
+            # The cache only ever answers queries; freezing it makes
+            # concurrent predict calls on one artifact safe.
+            server = self.frozen_estimator()
             object.__setattr__(self, "_server_cache", server)
         return server.predict(X)
 
@@ -224,11 +240,16 @@ class ClusterModel:
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: str | Path) -> Path:
-        """Write the artifact as ``<path>.npz`` + ``<path>.json``."""
+    def save(self, path: str | Path, serve=None) -> Path:
+        """Write the artifact as ``<path>.npz`` + ``<path>.json``.
+
+        ``serve`` optionally persists a :class:`~repro.api.ServeSpec`
+        deployment default next to the model (see
+        :func:`repro.data.io.load_serve_spec`).
+        """
         from repro.data.io import save_model
 
-        return save_model(self, path)
+        return save_model(self, path, serve=serve)
 
     @classmethod
     def load(cls, path: str | Path) -> "ClusterModel":

@@ -38,7 +38,7 @@ import inspect
 import numpy as np
 
 from repro.api.specs import Spec
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DataValidationError
 
 __all__ = ["EstimatorProtocol", "SpecAttributeSurface"]
 
@@ -131,6 +131,30 @@ class EstimatorProtocol:
     def _is_fitted(self) -> bool:
         """Whether ``fit`` has completed (hook for ``check_fitted``)."""
         return getattr(self, "_fitted", False)
+
+    def _validate_predict_X(self, X) -> np.ndarray:
+        """Predict-path input validation.
+
+        Unlike ``_validate_X`` (the fit-path contract, where zero items
+        make no sense), an **empty batch** ``(0, m)`` is legal at
+        predict time — a serving loop must answer it with zero labels,
+        not an error.  Non-empty input goes through the estimator's own
+        ``_validate_X``, so dtype/contiguity canonicalisation is shared
+        with training and a predict-time variant (F-order, int32,
+        float32) scores exactly like its canonical form.
+        """
+        X = np.asarray(X)
+        if X.ndim == 2 and X.shape[0] == 0:
+            if X.shape[1] == 0:
+                raise DataValidationError(
+                    "X must have at least one attribute column"
+                )
+            centroids = getattr(self, self._centroid_attr, None)
+            dtype = (
+                np.asarray(centroids).dtype if centroids is not None else X.dtype
+            )
+            return np.empty((0, X.shape[1]), dtype=dtype)
+        return self._validate_X(X)
 
     # -- shared ClusterModel scaffolding --------------------------------
 

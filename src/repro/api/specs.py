@@ -12,7 +12,10 @@ groups first class:
   shards, chunking, process start method);
 * :class:`TrainSpec` — how the clustering loop behaves (initialisation,
   iteration cap, reference-update mode, empty-cluster policy, cost
-  tracking, predict fallback).
+  tracking, predict fallback);
+* :class:`ServeSpec` — how a fitted :class:`~repro.api.ClusterModel`
+  is served (backend, workers, predict chunking, request-size cap) by
+  :class:`repro.serve.ModelServer`.
 
 Specs are frozen dataclasses: they validate eagerly at construction,
 compare by value, hash, round-trip through plain dicts
@@ -33,6 +36,8 @@ LSHSpec(bands=8, rows=2, seed=7)
 EngineSpec(backend='thread', n_jobs=2)
 >>> TrainSpec(max_iter=20).to_dict()["max_iter"]
 20
+>>> ServeSpec(backend='thread', n_jobs=2)
+ServeSpec(backend='thread', n_jobs=2)
 >>> LSHSpec(bands=0)
 Traceback (most recent call last):
     ...
@@ -59,6 +64,7 @@ __all__ = [
     "LSHSpec",
     "EngineSpec",
     "TrainSpec",
+    "ServeSpec",
 ]
 
 #: LSH families the library implements (MinHash for categorical data,
@@ -319,3 +325,44 @@ class TrainSpec(Spec):
         _require_choice(
             self.predict_fallback, "predict_fallback", PREDICT_FALLBACK_POLICIES
         )
+
+
+@dataclass(frozen=True, repr=False)
+class ServeSpec(Spec):
+    """How a fitted :class:`~repro.api.ClusterModel` is served.
+
+    Consumed by :class:`repro.serve.ModelServer` (and the
+    ``repro serve`` CLI): the spec describes the serving pool, how
+    predict batches are chunked across its workers, and the largest
+    request one call may carry.
+
+    Parameters
+    ----------
+    backend:
+        ``'serial'`` (in-process, no pool), ``'thread'`` or
+        ``'process'``.  Labels are bit-identical on every backend.
+    n_jobs:
+        Worker count for parallel backends (``None``: one per CPU).
+    chunk_items:
+        Upper bound on the rows one worker task handles; large
+        batches split into at least one span per worker, each at most
+        this long (results merge in row order, so chunking never
+        changes a label).  A value above ``max_batch`` is legal and
+        simply means "one span per worker".
+    max_batch:
+        Largest number of rows one ``predict`` call accepts.  Bounds
+        the server's request shared-memory buffer (and the byte size
+        the CLI transports accept); oversized requests are rejected,
+        not split.
+    """
+
+    backend: str = "serial"
+    n_jobs: int | None = None
+    chunk_items: int = 2048
+    max_batch: int = 8192
+
+    def validate(self) -> None:
+        _require_choice(self.backend, "backend", BACKEND_NAMES)
+        _require_positive(self.n_jobs, "n_jobs", optional=True)
+        _require_positive(self.chunk_items, "chunk_items")
+        _require_positive(self.max_batch, "max_batch")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands mirror the library's workflow:
+Five subcommands mirror the library's workflow:
 
 * ``generate`` — materialise a synthetic dataset (datgen-style or
   Yahoo-style) to disk;
@@ -12,6 +12,12 @@ Four subcommands mirror the library's workflow:
   ``--backend``, ``--jobs``, ``--shards``, ... — override spec-file
   fields, and ``--save`` persists the fitted model (npz + json
   sidecar);
+* ``serve`` — load a saved model into a
+  :class:`~repro.serve.ModelServer` and answer newline-delimited JSON
+  predict requests over stdin/stdout, or over a localhost HTTP
+  endpoint with ``--http PORT`` (``0`` picks a free port); a
+  :class:`~repro.api.ServeSpec` persisted next to the model supplies
+  the defaults, individual flags override;
 * ``compare`` — run a named paper experiment (fig2 … fig10) and print
   the paper-style tables (``--backend``/``--jobs`` apply to the MH
   variants);
@@ -105,6 +111,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="persist the fitted model as PATH.npz + PATH.json",
+    )
+
+    srv = sub.add_parser("serve", help="serve a saved model")
+    srv.add_argument("model", help="saved model path (.npz + .json sidecar)")
+    srv.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="serving backend (default: the model's saved ServeSpec, else serial)",
+    )
+    srv.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for parallel serving backends (default: one per CPU)",
+    )
+    srv.add_argument(
+        "--chunk-items",
+        type=int,
+        default=None,
+        help="rows per worker task when chunking a batch (default: 2048)",
+    )
+    srv.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="largest request accepted, in rows (default: 8192)",
+    )
+    srv.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve over localhost HTTP on PORT (0 picks a free port) "
+            "instead of newline-delimited JSON on stdin/stdout"
+        ),
     )
 
     cmp_ = sub.add_parser("compare", help="run a paper experiment")
@@ -300,6 +343,46 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import ServeSpec
+    from repro.data.io import load_cluster_model, load_serve_spec
+    from repro.serve import ModelServer, make_http_server, serve_ndjson
+
+    model = load_cluster_model(args.model)
+    spec = load_serve_spec(args.model) or ServeSpec()
+    overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("n_jobs", args.jobs),
+            ("chunk_items", args.chunk_items),
+            ("max_batch", args.max_batch),
+        )
+        if value is not None
+    }
+    spec = spec.replace(**overrides)
+    with ModelServer(model, spec) as server:
+        if args.http is not None:
+            httpd = make_http_server(server, port=args.http)
+            host, port = httpd.server_address[:2]
+            # The ready line goes to stdout (unused by this transport)
+            # so a supervising process can parse the bound port.
+            print(f"serving {model!r} on http://{host}:{port}", flush=True)
+            try:
+                httpd.serve_forever()
+            except KeyboardInterrupt:  # pragma: no cover - interactive exit
+                pass
+            finally:
+                httpd.server_close()
+        else:
+            # stdout is the response channel; the ready line goes to
+            # stderr so it never interleaves with NDJSON responses.
+            print(f"serving {model!r} on stdin/stdout (ndjson)", file=sys.stderr, flush=True)
+            answered = serve_ndjson(server, sys.stdin, sys.stdout)
+            print(f"served {answered} request(s)", file=sys.stderr)
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.experiments import (
         EXPERIMENTS,
@@ -367,6 +450,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
+        "serve": _cmd_serve,
         "compare": _cmd_compare,
         "tables": _cmd_tables,
     }

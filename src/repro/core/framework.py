@@ -561,12 +561,16 @@ class BaseLSHAcceleratedClustering(SpecAttributeSurface, EstimatorProtocol, abc.
                 "from an artifact without band keys); shortlist-based "
                 "predict is unavailable"
             )
-        X = self._validate_X(X)
+        X = self._validate_predict_X(X)
         if X.shape[1] != self.centroids_.shape[1]:
             raise DataValidationError(
                 f"X has {X.shape[1]} attributes but the model was fitted "
                 f"with {self.centroids_.shape[1]}"
             )
+        if X.shape[0] == 0:
+            # An empty batch is a legal serving request; the signature
+            # and shortlist machinery below assume at least one row.
+            return np.empty(0, dtype=np.int64)
         signatures = self._signatures(X)
         indptr, clusters = self.index_.shortlists_for_signatures(signatures)
         lengths = np.diff(indptr)

@@ -146,7 +146,10 @@ class MHKModes(BaseLSHAcceleratedClustering):
             )
         if X.min() < 0:
             raise DataValidationError("category codes must be non-negative")
-        return X
+        # Canonicalise: int64 C-order, so dtype/contiguity variants of
+        # the same codes hash to identical tokens (narrow dtypes could
+        # otherwise overflow the attribute-offset token encoding).
+        return np.ascontiguousarray(X, dtype=np.int64)
 
     def _initial_centroids(
         self, X: np.ndarray, initial: np.ndarray | None, rng: np.random.Generator

@@ -30,6 +30,7 @@ from repro.data.io import (
     load_dataset,
     load_cluster_model,
     load_model,
+    load_serve_spec,
     save_corpus,
     save_dataset,
     save_model,
@@ -59,4 +60,5 @@ __all__ = [
     "save_model",
     "load_model",
     "load_cluster_model",
+    "load_serve_spec",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "save_model",
     "load_model",
     "load_cluster_model",
+    "load_serve_spec",
 ]
 
 
@@ -167,7 +168,7 @@ def _json_safe(value):
     return value
 
 
-def save_model(model, path: str | Path) -> Path:
+def save_model(model, path: str | Path, serve=None) -> Path:
     """Write a fitted model as ``<path>.npz`` + ``<path>.json``.
 
     ``model`` may be a fitted estimator (anything exposing
@@ -177,9 +178,15 @@ def save_model(model, path: str | Path) -> Path:
     references); the json sidecar holds the specs, estimator-own
     parameters and fitted scalars, human-readable for provenance.
 
+    ``serve`` optionally persists a :class:`~repro.api.ServeSpec` (or
+    its ``to_dict`` form) into the sidecar's spec block; ``repro
+    serve`` and :meth:`repro.serve.ModelServer.from_path` pick it up
+    as the model's deployment default (see :func:`load_serve_spec`).
+
     Returns the npz path; the sidecar sits next to it.
     """
     from repro.api.model import ClusterModel
+    from repro.api.specs import ServeSpec
 
     if isinstance(model, ClusterModel):
         artifact = model
@@ -192,6 +199,9 @@ def save_model(model, path: str | Path) -> Path:
                 "repro estimator)"
             )
         artifact = export()  # raises NotFittedError on unfitted estimators
+
+    if serve is not None and not isinstance(serve, ServeSpec):
+        serve = ServeSpec.from_dict(serve)  # validates eagerly
 
     path = Path(path)
     if path.suffix != ".npz":
@@ -206,13 +216,16 @@ def save_model(model, path: str | Path) -> Path:
         arrays["index_assignments"] = artifact.assignments
     np.savez_compressed(path, **arrays)
 
+    specs = artifact.specs_dict()
+    if serve is not None:
+        specs["serve"] = serve.to_dict()
     sidecar = {
         "kind": _MODEL_KIND,
         "format_version": _MODEL_FORMAT_VERSION,
         "algorithm": artifact.algorithm,
         "class": artifact.metadata.get("class", artifact.algorithm),
         "n_clusters": int(artifact.n_clusters),
-        "specs": artifact.specs_dict(),
+        "specs": specs,
         "params": {k: _json_safe(v) for k, v in artifact.params.items()},
         "state": {k: _json_safe(v) for k, v in artifact.state.items()},
         "metadata": {k: _json_safe(v) for k, v in artifact.metadata.items()},
@@ -289,6 +302,28 @@ def load_cluster_model(path: str | Path):
         state=sidecar.get("state", {}),
         metadata=sidecar.get("metadata", {}),
     )
+
+
+def load_serve_spec(path: str | Path):
+    """The :class:`~repro.api.ServeSpec` saved next to a model, if any.
+
+    Returns ``None`` for models saved without one (``save_model``'s
+    ``serve=`` argument); the serving layer then falls back to the
+    default spec.
+    """
+    from repro.api.specs import ServeSpec
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    sidecar_path = path.with_suffix(".json")
+    if not sidecar_path.exists():
+        raise DataValidationError(f"no such model sidecar: {sidecar_path}")
+    sidecar = json.loads(sidecar_path.read_text(encoding="utf-8"))
+    if sidecar.get("kind") != _MODEL_KIND:
+        raise DataValidationError(f"{sidecar_path} is not a repro model sidecar")
+    serve = sidecar.get("specs", {}).get("serve")
+    return None if serve is None else ServeSpec.from_dict(serve)
 
 
 def load_model(path: str | Path):

@@ -10,6 +10,9 @@ assignment — across workers, behind one seam:
   shared-memory transport for bulky read-only arrays;
 * :mod:`repro.engine.chunking` — contiguous chunk iterators shared by
   every phase;
+* :mod:`repro.engine.pool` — :class:`PersistentPool`, the worker pool
+  with an explicit lifetime shared by fit sessions and the serving
+  layer (:mod:`repro.serve`);
 * :mod:`repro.engine.sharded_index` —
   :class:`ShardedClusteredLSHIndex`, per-shard bucket tables whose
   union reproduces the global index exactly (shard-count invariant);
@@ -34,6 +37,7 @@ from repro.engine.backends import (
 )
 from repro.engine.chunking import chunk_ranges, iter_blocks
 from repro.engine.parallel import ClusteringEngine, resolve_engine
+from repro.engine.pool import PersistentPool, live_pool_count
 from repro.engine.shared import SharedArray, resolve_array
 from repro.engine.sharded_index import ShardedClusteredLSHIndex
 
@@ -48,6 +52,8 @@ __all__ = [
     "iter_blocks",
     "ClusteringEngine",
     "resolve_engine",
+    "PersistentPool",
+    "live_pool_count",
     "SharedArray",
     "resolve_array",
     "ShardedClusteredLSHIndex",

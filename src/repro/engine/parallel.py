@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.engine.backends import ExecutionBackend, resolve_backend
 from repro.engine.chunking import chunk_ranges, iter_blocks
+from repro.engine.pool import PersistentPool
 from repro.engine.shared import SharedArray, resolve_array
 from repro.engine.sharded_index import ShardedClusteredLSHIndex, _build_shard_tables
 from repro.exceptions import ConfigurationError
@@ -328,23 +329,20 @@ class _ParallelFitSession:
         # domain) on the FULL matrix before workers snapshot the model,
         # so a chunk's local statistics can never change the encoding.
         model._prepare_signatures(X)
-        self._handles: list[SharedArray] = []
+        pre_handles: tuple[SharedArray, ...] = ()
         if backend.inherits_static:
             x_ref = SharedArray.wrap(X)
         else:
             # spawn workers must not receive the matrix through the
-            # initializer pickle; hand it over in shared memory.
-            x_ref = self._share(X)
-        try:
-            with Timer() as open_timer:
-                self._session = backend.session((model, x_ref))
-        except BaseException:
-            # no session means no close() will ever run; unlink the
-            # matrix segment here rather than leak it for the process
-            # lifetime
-            for handle in self._handles:
-                handle.release()
-            raise
+            # initializer pickle; hand it over in shared memory.  The
+            # pool adopts the segment, releasing it even when opening
+            # the session fails.
+            x_ref = backend.share_array(X)
+            pre_handles = (x_ref,)
+        with Timer() as open_timer:
+            self._pool = PersistentPool(
+                backend, (model, x_ref), handles=pre_handles
+            )
         self.open_s = open_timer.elapsed_s
         self._index: AnyIndex | None = None
         self._csr_refs: tuple[SharedArray, SharedArray, SharedArray] | None = None
@@ -356,15 +354,13 @@ class _ParallelFitSession:
         self.close()
 
     def _share(self, array: np.ndarray) -> SharedArray:
-        handle = self._backend.share_array(array)
-        self._handles.append(handle)
-        return handle
+        return self._pool.share(array)
 
     def exhaustive_assign(
         self, centroids: np.ndarray, labels: np.ndarray
     ) -> tuple[np.ndarray, int]:
         spans = chunk_ranges(self._n, self._backend.n_jobs)
-        chunks = self._session.run(
+        chunks = self._pool.run(
             _exhaustive_chunk, spans, dynamic=(centroids, labels)
         )
         new_labels = np.concatenate(chunks)
@@ -373,7 +369,7 @@ class _ParallelFitSession:
 
     def compute_signatures(self) -> np.ndarray:
         spans = chunk_ranges(self._n, self._backend.n_jobs)
-        return np.concatenate(self._session.run(_signature_chunk, spans))
+        return np.concatenate(self._pool.run(_signature_chunk, spans))
 
     def build_index(self, signatures: np.ndarray, labels: np.ndarray) -> AnyIndex:
         model = self._model
@@ -381,7 +377,7 @@ class _ParallelFitSession:
         band_keys = compute_band_keys(signatures, model.bands, model.rows)
         keys_ref = self._share(band_keys)
         spans = chunk_ranges(self._n, shards)
-        runs = self._session.run(
+        runs = self._pool.run(
             _build_shard_tables, spans, dynamic=(keys_ref, model.bands)
         )
         self._index = ShardedClusteredLSHIndex.from_shard_runs(
@@ -405,7 +401,7 @@ class _ParallelFitSession:
                 self._share(indices),
             )
         spans = chunk_ranges(self._n, self._backend.n_jobs)
-        results = self._session.run(
+        results = self._pool.run(
             _assignment_chunk, spans, dynamic=(centroids, labels, self._csr_refs)
         )
         new_labels = np.concatenate([chunk for chunk, _, _, _ in results])
@@ -419,10 +415,7 @@ class _ParallelFitSession:
         return new_labels, moves
 
     def close(self) -> None:
-        self._session.close()
-        for handle in self._handles:
-            handle.release()
-        self._handles = []
+        self._pool.close()
 
 
 EngineFitSession = _SerialFitSession | _ParallelFitSession

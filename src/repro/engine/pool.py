@@ -1,0 +1,157 @@
+"""Persistent worker pools: one pool, many dispatches, explicit lifetime.
+
+The engine's original contract tied a worker pool's lifetime to one fit
+(:class:`~repro.engine.parallel.EngineFitSession`).  Serving breaks
+that shape: a :class:`repro.serve.ModelServer` answers an unbounded
+stream of predict batches and must keep its workers warm *across*
+calls.  :class:`PersistentPool` is the lifetime-owning object both
+sides now share:
+
+* it opens exactly one :class:`~repro.engine.backends.BackendSession`
+  over a backend (counted by ``backend.sessions_opened``, which is how
+  the one-pool-per-fit and one-pool-per-server contracts are asserted
+  in tests);
+* it tracks every :class:`~repro.engine.shared.SharedArray` segment
+  created through :meth:`share` and releases them all at :meth:`close`
+  — shared memory cannot outlive the pool that shipped it;
+* :meth:`run` may be called any number of times, from any thread
+  (the underlying executors serialise dispatch internally), and a
+  kernel exception leaves the pool usable — the failed call raises,
+  the next call proceeds;
+* :meth:`close` is idempotent, and the module-level
+  :func:`live_pool_count` lets leak tests assert that every pool
+  opened in a block was torn down.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.engine.backends import ExecutionBackend, Kernel
+from repro.engine.shared import SharedArray
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PersistentPool", "live_pool_count"]
+
+_LIVE_LOCK = threading.Lock()
+_LIVE_POOLS = 0
+
+
+def _count_pool(delta: int) -> None:
+    global _LIVE_POOLS
+    with _LIVE_LOCK:
+        _LIVE_POOLS += delta
+
+
+def live_pool_count() -> int:
+    """Pools currently open in this process (0 when nothing leaks)."""
+    with _LIVE_LOCK:
+        return _LIVE_POOLS
+
+
+class PersistentPool:
+    """A worker pool bound to one static payload, alive until closed.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.engine.backends.ExecutionBackend` whose
+        workers execute dispatched kernels.  Serial backends are legal
+        (the "pool" then runs in-process), so callers need one code
+        path.
+    static:
+        Bulky read-only state pinned for the pool's lifetime (workers
+        see it via fork copy-on-write, a once-per-worker pickle under
+        spawn, or directly in shared address spaces).
+    handles:
+        Already-created :class:`~repro.engine.shared.SharedArray`
+        segments whose lifetime this pool adopts: released at
+        :meth:`close`, or immediately if opening the session fails
+        (no session means no close would ever run).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        static: Any = None,
+        handles: tuple[SharedArray, ...] = (),
+    ):
+        self.backend = backend
+        self._handles: list[SharedArray] = list(handles)
+        self._handle_lock = threading.Lock()
+        try:
+            self._session = backend.session(static)
+        except BaseException:
+            for handle in self._handles:
+                handle.release()
+            raise
+        self._closed = False
+        self._close_lock = threading.Lock()
+        _count_pool(+1)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the workers and every tracked segment.
+
+        Idempotent and safe to race: exactly one caller tears down.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        _count_pool(-1)
+        try:
+            self._session.close()
+        finally:
+            with self._handle_lock:
+                handles, self._handles = self._handles, []
+            for handle in handles:
+                handle.release()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("this PersistentPool is closed")
+
+    # -- transport -------------------------------------------------------
+
+    def share(self, array: np.ndarray) -> SharedArray:
+        """Ship ``array`` to this pool's workers (released at close).
+
+        Uses the backend's transport: zero-copy wrapping for shared
+        address spaces, a named shared-memory segment for process
+        pools.  The handle may ride inside any later ``dynamic`` tuple.
+        """
+        self._check_open()
+        handle = self.backend.share_array(array)
+        with self._handle_lock:
+            self._handles.append(handle)
+        return handle
+
+    # -- dispatch --------------------------------------------------------
+
+    def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
+        """Apply ``fn(static, dynamic, task)`` to every task, in order.
+
+        A kernel exception propagates to the caller but does not poison
+        the pool: subsequent :meth:`run` calls work normally.
+        """
+        self._check_open()
+        return self._session.run(fn, tasks, dynamic)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"PersistentPool(backend={self.backend.name!r}, {state})"

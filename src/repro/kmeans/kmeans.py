@@ -179,12 +179,14 @@ class KMeans(EstimatorProtocol):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign new points to the nearest fitted centroid."""
         check_fitted(self)
-        X = self._validate_X(X)
+        X = self._validate_predict_X(X)
         if X.shape[1] != self.centroids_.shape[1]:
             raise DataValidationError(
                 f"X has {X.shape[1]} features but the model was fitted "
                 f"with {self.centroids_.shape[1]}"
             )
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         return np.argmin(_squared_distances(X, self.centroids_), axis=1)
 
     # ------------------------------------------------------------------

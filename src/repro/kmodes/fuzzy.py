@@ -203,12 +203,14 @@ class FuzzyKModes(EstimatorProtocol):
     def predict_memberships(self, X: np.ndarray) -> np.ndarray:
         """Membership matrix for new items."""
         check_fitted(self)
-        X = self._validate_X(X)
+        X = self._validate_predict_X(X)
         if X.shape[1] != self.modes_.shape[1]:
             raise DataValidationError(
                 f"X has {X.shape[1]} attributes but the model was fitted "
                 f"with {self.modes_.shape[1]}"
             )
+        if X.shape[0] == 0:
+            return np.empty((0, self.n_clusters), dtype=np.float64)
         return self._memberships(self._distances(X, self.modes_))
 
     # ------------------------------------------------------------------
@@ -224,7 +226,9 @@ class FuzzyKModes(EstimatorProtocol):
             )
         if X.min() < 0:
             raise DataValidationError("category codes must be non-negative")
-        return X
+        # Canonical int64 C-order so dtype/contiguity variants of the
+        # same codes produce identical memberships.
+        return np.ascontiguousarray(X, dtype=np.int64)
 
     def _distances(self, X: np.ndarray, modes: np.ndarray) -> np.ndarray:
         return np.count_nonzero(

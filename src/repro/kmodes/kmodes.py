@@ -218,12 +218,14 @@ class KModes(EstimatorProtocol):
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign new items to the nearest fitted mode (exhaustively)."""
         check_fitted(self)
-        X = self._validate_X(X)
+        X = self._validate_predict_X(X)
         if X.shape[1] != self.modes_.shape[1]:
             raise DataValidationError(
                 f"X has {X.shape[1]} attributes but the model was fitted "
                 f"with {self.modes_.shape[1]}"
             )
+        if X.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         labels, _ = self._assign(X, self.modes_, np.full(len(X), -1, dtype=np.int64))
         return labels
 
@@ -242,7 +244,9 @@ class KModes(EstimatorProtocol):
             )
         if X.min() < 0:
             raise DataValidationError("category codes must be non-negative")
-        return X
+        # Canonical int64 C-order so dtype/contiguity variants of the
+        # same codes produce identical distances and labels.
+        return np.ascontiguousarray(X, dtype=np.int64)
 
     def _initial_modes(
         self,

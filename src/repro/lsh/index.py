@@ -219,6 +219,7 @@ class BaseClusteredIndex:
         self._keys_buf: np.ndarray | None = None  # (capacity, bands) uint64
         self._assign_buf: np.ndarray | None = None  # (capacity,) int64
         self._n = 0
+        self._read_only = False
         self._group_of: np.ndarray | None = None
         self._nbr_indptr: np.ndarray | None = None
         self._nbr_indices: np.ndarray | None = None
@@ -396,6 +397,44 @@ class BaseClusteredIndex:
         ]
         return group_of, lists
 
+    # -- read-only query mode (serving) ----------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the index is frozen for concurrent read-only queries."""
+        return self._read_only
+
+    def freeze(self) -> "BaseClusteredIndex":
+        """Switch the built index into read-only query mode (idempotent).
+
+        A frozen index rejects every mutation — :meth:`insert`,
+        :meth:`update_assignment`, :meth:`set_assignments`,
+        :meth:`assignments_view` — and marks its item buffers
+        non-writable, so any number of threads (or forked serving
+        workers) can query it concurrently without a lock.  This is the
+        mode :class:`repro.serve.ModelServer` rebuilds persisted
+        indexes into; training always works on unfrozen indexes.
+        """
+        self._check_built()
+        if self._read_only:
+            return self
+        assert self._keys_buf is not None and self._assign_buf is not None
+        # Trim the growth buffers to the logical item count so the
+        # frozen views are exact, then seal them.
+        self._keys_buf = self._keys_buf[: self._n]
+        self._assign_buf = self._assign_buf[: self._n]
+        self._keys_buf.setflags(write=False)
+        self._assign_buf.setflags(write=False)
+        self._read_only = True
+        return self
+
+    def _check_mutable(self, what: str) -> None:
+        if self._read_only:
+            raise ConfigurationError(
+                f"{what} is not available on a frozen index; this index "
+                "is in read-only query mode (see freeze())"
+            )
+
     # -- incremental insertion (streaming extension) ---------------------
 
     def insert(self, signature: np.ndarray, cluster: int) -> int:
@@ -418,6 +457,7 @@ class BaseClusteredIndex:
             The cluster reference to store for it.
         """
         self._check_built()
+        self._check_mutable("insert")
         if self._nbr_indptr is not None:
             raise ConfigurationError(
                 "insert requires precompute_neighbours=False; grouped "
@@ -487,12 +527,14 @@ class BaseClusteredIndex:
     def update_assignment(self, item: int, cluster: int) -> None:
         """O(1) rewrite of one item's cluster reference."""
         self._check_built()
+        self._check_mutable("update_assignment")
         assert self._assign_buf is not None
         self._assign_buf[item] = cluster
 
     def set_assignments(self, assignments: np.ndarray) -> None:
         """Bulk-replace every cluster reference (used between iterations)."""
         self._check_built()
+        self._check_mutable("set_assignments")
         assert self._assign_buf is not None
         assignments = np.asarray(assignments, dtype=np.int64)
         if assignments.shape != (self._n,):
@@ -519,6 +561,7 @@ class BaseClusteredIndex:
         buffer, so re-fetch the view after streaming new items in.)
         """
         self._check_built()
+        self._check_mutable("assignments_view")
         assert self._assign_buf is not None
         return self._assign_buf[: self._n]
 

@@ -1,0 +1,290 @@
+"""The model server: one artifact, one warm pool, many batches.
+
+:class:`ModelServer` is the serving counterpart of a fit session.  At
+construction it pays every per-model cost exactly once — rebuilding
+the artifact's clustered LSH index (frozen into read-only query mode)
+and, on parallel backends, opening a
+:class:`~repro.engine.pool.PersistentPool` whose workers stay warm
+across requests.  Each ``predict`` call then only pays for its own
+rows: the batch is split into contiguous spans (at most
+``spec.chunk_items`` rows each, at least one span per worker) with
+:func:`~repro.engine.chunking.chunk_ranges`, every span runs the
+estimator's own batched shortlist ``predict`` — the same code path
+``ClusterModel.predict`` uses — and the label chunks concatenate back
+in row order.  Chunking therefore never changes a label: serial,
+threaded and process-parallel serving are bit-identical, which the
+property suite in ``tests/properties/test_serve_equivalence.py``
+asserts exhaustively.
+
+Process pools cannot see a request's matrix through fork copy-on-write
+(the pool predates the request), so the server keeps one shared-memory
+**request buffer** of ``spec.max_batch`` rows: the batch is copied in
+once, workers attach to the segment via its
+:class:`~repro.engine.shared.SharedArray` descriptor, and only the
+small label chunks ride the result pickles.  A lock serialises buffer
+use, so any number of caller threads may hammer one server; thread
+and serial backends need no buffer (shared address space) and dispatch
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.api.model import ClusterModel
+from repro.api.specs import ServeSpec
+from repro.engine.backends import resolve_backend
+from repro.engine.chunking import chunk_ranges
+from repro.engine.pool import PersistentPool
+from repro.engine.shared import SharedArray, resolve_array
+from repro.exceptions import ConfigurationError, DataValidationError
+
+__all__ = ["ModelServer"]
+
+
+def _predict_chunk(static, dynamic, span: tuple[int, int]) -> np.ndarray:
+    """Kernel: predict one row span of the (possibly shared) matrix.
+
+    ``static`` is the serving estimator (frozen index), pinned for the
+    pool's lifetime; ``dynamic`` is the request matrix — a
+    :class:`~repro.engine.shared.SharedArray` descriptor of the request
+    buffer for process pools, the array itself for threads.
+    """
+    start, stop = span
+    X = resolve_array(dynamic)
+    return static.predict(X[start:stop])
+
+
+class ModelServer:
+    """Serve ``predict`` batches from a :class:`~repro.api.ClusterModel`.
+
+    Parameters
+    ----------
+    model:
+        The fitted artifact to serve.
+    spec:
+        A :class:`~repro.api.ServeSpec` (or its ``to_dict`` form).
+        ``None``: the default spec (serial, in-process).
+
+    Attributes
+    ----------
+    requests_served_, items_served_:
+        Running totals across the server's lifetime (thread-safe).
+
+    Use as a context manager, or call :meth:`close` when done; a closed
+    server rejects further requests and its pool counters return to
+    zero (asserted by the leak tests via
+    :func:`repro.engine.pool.live_pool_count`).
+    """
+
+    def __init__(self, model: ClusterModel, spec: ServeSpec | dict | None = None):
+        if not isinstance(model, ClusterModel):
+            raise ConfigurationError(
+                f"ModelServer serves ClusterModel artifacts, got "
+                f"{type(model).__name__}; export one with fitted_model() "
+                "or load one with load_cluster_model()"
+            )
+        if isinstance(spec, dict):
+            spec = ServeSpec.from_dict(spec)
+        if spec is None:
+            spec = ServeSpec()
+        if not isinstance(spec, ServeSpec):
+            raise ConfigurationError(
+                f"spec must be a ServeSpec, got {type(spec).__name__}"
+            )
+        self.model = model
+        self.spec = spec
+        # The serving estimator: index rebuilt once, then frozen — every
+        # worker queries the same read-only structure.
+        self._estimator = model.frozen_estimator()
+        self._backend = resolve_backend(spec.backend, spec.n_jobs)
+        self._buffer_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._items = 0
+        self._closed = False
+        self._x_buffer: SharedArray | None = None
+        self._pool: PersistentPool | None = None
+        if self._backend.is_parallel:
+            self._pool = PersistentPool(self._backend, static=self._estimator)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_path(cls, path, spec: ServeSpec | dict | None = None) -> "ModelServer":
+        """Load a saved model (npz + json sidecar) and serve it.
+
+        When ``spec`` is ``None``, a :class:`~repro.api.ServeSpec`
+        persisted next to the model (``save_model(..., serve=...)``)
+        is used; a model saved without one serves with the defaults.
+        """
+        from repro.data.io import load_cluster_model, load_serve_spec
+
+        model = load_cluster_model(path)
+        if spec is None:
+            spec = load_serve_spec(path)
+        return cls(model, spec)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def requests_served_(self) -> int:
+        with self._stats_lock:
+            return self._requests
+
+    @property
+    def items_served_(self) -> int:
+        with self._stats_lock:
+            return self._items
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down and release the request buffer.
+
+        Idempotent and safe to race from several threads: the pool is
+        torn down exactly once (``PersistentPool.close`` serialises).
+        """
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()  # releases the request buffer segment too
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("this ModelServer is closed")
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Labels for a batch, bit-identical to ``ClusterModel.predict``.
+
+        Batches larger than ``spec.max_batch`` are rejected (serving
+        bounds its requests); an empty batch answers with zero labels.
+        A request that fails validation raises without disturbing the
+        pool — the next request proceeds normally.
+        """
+        X = self._prepare(X)
+        return self._predict_validated(X)
+
+    def _prepare(self, X: np.ndarray) -> np.ndarray:
+        """Validate one request into its canonical matrix.
+
+        The row/width bounds run on the raw array *before* the
+        estimator's canonicalisation, so an oversized or mis-shaped
+        request is rejected without ever copying or scanning it.
+        """
+        self._check_open()
+        raw = np.asarray(X)
+        if raw.ndim == 2:
+            if raw.shape[0] > self.spec.max_batch:
+                raise DataValidationError(
+                    f"batch of {raw.shape[0]} rows exceeds max_batch="
+                    f"{self.spec.max_batch}; split the request or serve "
+                    "with a larger ServeSpec.max_batch"
+                )
+            if raw.shape[1] != self.model.n_attributes:
+                raise DataValidationError(
+                    f"X has {raw.shape[1]} attributes but the model serves "
+                    f"{self.model.n_attributes}"
+                )
+        return self._estimator._validate_predict_X(raw)
+
+    def _predict_validated(self, X: np.ndarray) -> np.ndarray:
+        """Dispatch an already-canonical batch (labels only)."""
+        n = X.shape[0]
+        if self._pool is None or n == 0:
+            labels = self._estimator.predict(X)
+        else:
+            spans = self._spans(n)
+            if self._backend.name == "process":
+                with self._buffer_lock:
+                    buffer = self._request_buffer(X.dtype)
+                    buffer[:n] = X
+                    chunks = self._pool.run(
+                        _predict_chunk, spans, dynamic=self._x_buffer
+                    )
+            else:
+                chunks = self._pool.run(_predict_chunk, spans, dynamic=X)
+            labels = np.concatenate(chunks)
+        with self._stats_lock:
+            self._requests += 1
+            self._items += n
+        return labels
+
+    def predict_with_distance(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Labels plus each row's distance to its assigned centroid.
+
+        The ``predict_proba``-style response: the label and how far the
+        row sits from the centroid that won, scored with the
+        estimator's vectorised ``_block_distances`` kernel.  Only
+        estimators exposing that kernel (the LSH-accelerated family)
+        support it.
+        """
+        block_distances = getattr(self._estimator, "_block_distances", None)
+        if block_distances is None:
+            raise ConfigurationError(
+                f"{type(self._estimator).__name__} has no _block_distances "
+                "kernel; distance serving is available for LSH-accelerated "
+                "estimators only"
+            )
+        X = self._prepare(X)  # validate once; predict and scoring share it
+        labels = self._predict_validated(X)
+        if len(labels) == 0:
+            return labels, np.empty(0, dtype=np.float64)
+        centroids = np.asarray(self.model.centroids)
+        distances = np.asarray(
+            block_distances(X, centroids[labels][:, None, :]), dtype=np.float64
+        )[:, 0]
+        return labels, distances
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _spans(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous row spans: ≤ ``chunk_items`` each, ≥ 1 per worker."""
+        per_size = -(-n // self.spec.chunk_items)  # ceil
+        return chunk_ranges(n, max(self._backend.n_jobs, per_size))
+
+    def _request_buffer(self, dtype: np.dtype) -> np.ndarray:
+        """The (lazily created) shared-memory request buffer.
+
+        Sized ``(max_batch, n_attributes)`` in the canonical dtype the
+        estimator's validation produces, so copying a validated batch
+        in is exact.  Created under the buffer lock.
+        """
+        if self._x_buffer is None:
+            assert self._pool is not None
+            template = np.zeros(
+                (self.spec.max_batch, self.model.n_attributes), dtype=dtype
+            )
+            self._x_buffer = self._pool.share(template)
+        buffer = self._x_buffer.get()
+        if buffer.dtype != dtype:  # pragma: no cover - canonical dtype is stable
+            raise DataValidationError(
+                f"request dtype {dtype} does not match the serving buffer "
+                f"({buffer.dtype})"
+            )
+        return buffer
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelServer({self.model!r}, backend={self.spec.backend!r}, "
+            f"requests={self.requests_served_})"
+        )

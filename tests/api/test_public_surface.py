@@ -12,7 +12,13 @@ import json
 from pathlib import Path
 
 import repro
-from repro.api import EngineSpec, LSHSpec, TrainSpec, available_estimators
+from repro.api import (
+    EngineSpec,
+    LSHSpec,
+    ServeSpec,
+    TrainSpec,
+    available_estimators,
+)
 
 SNAPSHOT_PATH = Path(__file__).parent / "public_surface.json"
 
@@ -23,7 +29,7 @@ def current_surface() -> dict:
         "estimators": sorted(available_estimators()),
         "spec_fields": {
             cls.__name__: [f.name for f in dataclasses.fields(cls)]
-            for cls in (LSHSpec, EngineSpec, TrainSpec)
+            for cls in (LSHSpec, EngineSpec, TrainSpec, ServeSpec)
         },
     }
 

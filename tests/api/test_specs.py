@@ -9,7 +9,7 @@ import pytest
 import repro.api.protocol
 import repro.api.registry
 import repro.api.specs
-from repro.api import EngineSpec, LSHSpec, TrainSpec
+from repro.api import EngineSpec, LSHSpec, ServeSpec, TrainSpec
 from repro.exceptions import ConfigurationError
 
 
@@ -61,10 +61,32 @@ class TestValidationAtConstruction:
         with pytest.raises(ConfigurationError):
             TrainSpec(**kwargs)
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "grpc"},
+            {"n_jobs": 0},
+            {"chunk_items": 0},
+            {"max_batch": -1},
+        ],
+        ids=repr,
+    )
+    def test_serve_spec_rejects(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServeSpec(**kwargs)
+
+    def test_serve_spec_max_batch_alone_is_overridable(self):
+        # chunk_items above max_batch just means "one span per worker";
+        # a max_batch-only override (the CLI's --max-batch flag) must
+        # not trip over the chunk_items default.
+        assert ServeSpec().replace(max_batch=100).max_batch == 100
+        assert ServeSpec.from_dict({"max_batch": 64}).max_batch == 64
+
     def test_valid_specs_construct(self):
         LSHSpec(family="pstable", bands=50, rows=5, width=2.0, seed=1)
         EngineSpec(backend="process", n_jobs=4, n_shards=8, start_method="spawn")
         TrainSpec(init="huang", max_iter=5, update_refs="batch")
+        ServeSpec(backend="process", n_jobs=4, chunk_items=256, max_batch=1024)
 
 
 class TestImmutability:
@@ -99,6 +121,7 @@ class TestDictRoundTrip:
             LSHSpec(family="simhash", bands=32, rows=2, seed=11),
             EngineSpec(backend="thread", n_jobs=3, n_shards=2, chunk_items=64),
             TrainSpec(init="cao", max_iter=7, update_refs="batch"),
+            ServeSpec(backend="process", n_jobs=2, chunk_items=128, max_batch=256),
         ],
     )
     def test_to_dict_from_dict_identity(self, spec):
@@ -127,6 +150,7 @@ class TestRepr:
         assert repr(LSHSpec()) == "LSHSpec()"
         assert repr(EngineSpec()) == "EngineSpec()"
         assert repr(TrainSpec()) == "TrainSpec()"
+        assert repr(ServeSpec()) == "ServeSpec()"
 
     def test_non_default_fields_only(self):
         assert repr(LSHSpec(bands=8, rows=5)) == "LSHSpec(bands=8)"

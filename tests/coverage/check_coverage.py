@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Enforce per-package coverage thresholds from a checked-in file.
+
+Usage::
+
+    python tests/coverage/check_coverage.py coverage.json \\
+        tests/coverage/thresholds.json
+
+``coverage.json`` is the JSON report pytest-cov writes
+(``--cov-report=json:coverage.json``); the thresholds file maps a path
+fragment (e.g. ``"repro/serve/"``) to the minimum line-coverage
+percentage its files must reach **in aggregate**.  Regressions fail
+the build with a per-package breakdown; raising a threshold is a
+reviewable one-line diff.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def package_coverage(report: dict, fragment: str) -> tuple[int, int, list[str]]:
+    """(covered, statements, matched files) for one path fragment."""
+    covered = statements = 0
+    matched: list[str] = []
+    for filename, data in report.get("files", {}).items():
+        if fragment not in filename.replace("\\", "/"):
+            continue
+        summary = data.get("summary", {})
+        covered += int(summary.get("covered_lines", 0))
+        statements += int(summary.get("num_statements", 0))
+        matched.append(filename)
+    return covered, statements, matched
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path, thresholds_path = argv[1], argv[2]
+    with open(report_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    with open(thresholds_path, encoding="utf-8") as handle:
+        thresholds = json.load(handle)
+
+    failures = []
+    for fragment, minimum in sorted(thresholds.items()):
+        covered, statements, matched = package_coverage(report, fragment)
+        if not matched:
+            failures.append(f"{fragment}: no files matched in {report_path}")
+            continue
+        percent = 100.0 * covered / statements if statements else 100.0
+        status = "ok" if percent >= minimum else "FAIL"
+        print(
+            f"{status:>4}  {fragment:<24} {percent:6.2f}% "
+            f"({covered}/{statements} lines over {len(matched)} files, "
+            f"threshold {minimum}%)"
+        )
+        if percent < minimum:
+            failures.append(
+                f"{fragment}: {percent:.2f}% < required {minimum}%"
+            )
+    if failures:
+        print("\ncoverage regression:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

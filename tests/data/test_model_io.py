@@ -106,6 +106,47 @@ class TestOtherEstimators:
         assert np.array_equal(loaded.labels_, model.labels_)
 
 
+class TestServeSpecSidecar:
+    def test_serve_spec_round_trips_and_is_inert_for_loading(
+        self, categorical, novel, tmp_path
+    ):
+        from repro.api import ServeSpec
+        from repro.data.io import load_cluster_model, load_serve_spec
+
+        model = MHKModes(n_clusters=8, bands=8, rows=2, seed=7).fit(categorical.X)
+        spec = ServeSpec(backend="thread", n_jobs=2, chunk_items=64, max_batch=128)
+        path = save_model(model, tmp_path / "with_serve", serve=spec)
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert sidecar["specs"]["serve"] == spec.to_dict()
+        assert load_serve_spec(path) == spec
+        # the extra section does not disturb artifact loading
+        loaded = load_cluster_model(path)
+        assert np.array_equal(loaded.predict(novel.X), model.predict(novel.X))
+
+    def test_serve_accepts_dict_and_validates(self, categorical, tmp_path):
+        from repro.data.io import load_serve_spec
+
+        model = MHKModes(n_clusters=8, bands=8, rows=2, seed=7).fit(categorical.X)
+        path = save_model(
+            model, tmp_path / "dict_serve", serve={"backend": "thread"}
+        )
+        assert load_serve_spec(path).backend == "thread"
+        with pytest.raises(Exception):
+            save_model(model, tmp_path / "bad_serve", serve={"backend": "grpc"})
+
+    def test_load_serve_spec_none_without_section(self, categorical, tmp_path):
+        from repro.data.io import load_serve_spec
+
+        model = MHKModes(n_clusters=8, bands=8, rows=2, seed=7).fit(categorical.X)
+        assert load_serve_spec(save_model(model, tmp_path / "plain")) is None
+
+    def test_load_serve_spec_missing_sidecar_rejected(self, tmp_path):
+        from repro.data.io import load_serve_spec
+
+        with pytest.raises(DataValidationError):
+            load_serve_spec(tmp_path / "absent")
+
+
 class TestValidation:
     def test_unfitted_model_rejected(self, tmp_path):
         with pytest.raises(NotFittedError):

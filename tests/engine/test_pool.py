@@ -1,0 +1,116 @@
+"""PersistentPool: lifetime, transport tracking, failure behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    PersistentPool,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    live_pool_count,
+)
+from repro.engine.shared import SharedArray
+from repro.exceptions import ConfigurationError
+
+
+def _echo(static, dynamic, task):
+    return (static, dynamic, task)
+
+
+def _double(static, dynamic, task):
+    return task * 2
+
+
+def _boom(static, dynamic, task):
+    raise ValueError(f"kernel failed on task {task}")
+
+
+class TestLifecycle:
+    def test_one_session_per_pool(self):
+        backend = ThreadBackend(n_jobs=2)
+        with PersistentPool(backend) as pool:
+            for _ in range(5):
+                assert pool.run(_double, [1, 2, 3]) == [2, 4, 6]
+        assert backend.sessions_opened == 1
+
+    def test_live_pool_count_balances(self):
+        baseline = live_pool_count()
+        pool = PersistentPool(SerialBackend())
+        assert live_pool_count() == baseline + 1
+        pool.close()
+        assert live_pool_count() == baseline
+
+    def test_close_is_idempotent(self):
+        pool = PersistentPool(SerialBackend())
+        opened = live_pool_count()
+        pool.close()
+        pool.close()  # second close must not double-decrement
+        assert live_pool_count() == opened - 1
+        assert pool.closed
+
+    def test_closed_pool_rejects_work(self):
+        pool = PersistentPool(SerialBackend())
+        pool.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.run(_double, [1])
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool.share(np.arange(3))
+
+    def test_static_payload_reaches_every_dispatch(self):
+        with PersistentPool(SerialBackend(), static="payload") as pool:
+            results = pool.run(_echo, ["a", "b"], dynamic=1)
+        assert results == [("payload", 1, "a"), ("payload", 1, "b")]
+
+
+class TestFailureBehaviour:
+    def test_kernel_exception_does_not_poison_the_pool(self):
+        for backend in (SerialBackend(), ThreadBackend(n_jobs=2)):
+            with PersistentPool(backend) as pool:
+                with pytest.raises(ValueError, match="kernel failed"):
+                    pool.run(_boom, [1, 2])
+                assert pool.run(_double, [4]) == [8]
+
+    def test_process_pool_survives_kernel_exception(self):
+        with PersistentPool(ProcessBackend(n_jobs=2)) as pool:
+            with pytest.raises(ValueError, match="kernel failed"):
+                pool.run(_boom, [1])
+            assert pool.run(_double, [3, 4]) == [6, 8]
+
+    def test_adopted_handles_released_when_session_open_fails(self):
+        class ExplodingBackend(SerialBackend):
+            def _open_session(self, static=None):
+                raise RuntimeError("no workers today")
+
+        handle = SharedArray.via_shm(np.arange(8))
+        baseline = live_pool_count()
+        with pytest.raises(RuntimeError, match="no workers"):
+            PersistentPool(ExplodingBackend(), handles=(handle,))
+        assert live_pool_count() == baseline
+        # the segment was unlinked by the constructor's failure path
+        assert handle._shm is None
+
+
+class TestTransport:
+    def test_share_releases_segments_at_close(self):
+        backend = ProcessBackend(n_jobs=1)
+        pool = PersistentPool(backend)
+        handle = pool.share(np.arange(16, dtype=np.int64))
+        assert handle.is_shm or handle._array is not None
+        [seen] = pool.run(_echo, [0], dynamic=handle)
+        assert np.array_equal(seen[1].get(), np.arange(16))
+        pool.close()
+        assert handle._shm is None  # unlinked
+
+    def test_shared_buffer_writes_visible_to_process_workers(self):
+        # The serving request-buffer pattern: one segment, many writes.
+        backend = ProcessBackend(n_jobs=1)
+        with PersistentPool(backend) as pool:
+            handle = pool.share(np.zeros(4, dtype=np.int64))
+            view = handle.get()
+            for fill in (7, 9):
+                view[:] = fill
+                [(_, seen, _)] = pool.run(_echo, [0], dynamic=handle)
+                assert np.array_equal(seen.get(), np.full(4, fill))

@@ -1,0 +1,184 @@
+"""Predict cold-path conformance: empty, single-row and variant inputs.
+
+The batched predict path has long been conformance-tested; these are
+the cold paths serving exposed: an **empty batch** (a legal request
+that must answer with zero labels), a **single row** (must equal the
+corresponding slice of a batched call), and **dtype / memory-order
+variants** of the same values (F-order, narrow integer codes, float32)
+— all of which must produce labels bit-identical to the canonical
+int64/float64 C-order call, on the estimator and on the
+``ClusterModel`` artifact alike, including after a save/load
+round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mh_kmodes import MHKModes
+from repro.data.datgen import RuleBasedGenerator
+from repro.exceptions import DataValidationError
+from repro.kmeans import KMeans, LSHKMeans, MiniBatchKMeans
+from repro.kmodes import FuzzyKModes, KModes
+
+CATEGORICAL_VARIANT_DTYPES = (np.int32, np.int16, np.uint8)
+NUMERIC_VARIANT_DTYPES = (np.float32,)
+
+
+@pytest.fixture(scope="module")
+def categorical():
+    data = RuleBasedGenerator(
+        n_clusters=6, n_attributes=10, domain_size=200, seed=51
+    ).generate(220)
+    novel = RuleBasedGenerator(
+        n_clusters=6, n_attributes=10, domain_size=200, seed=52
+    ).generate(60)
+    return data.X, novel.X
+
+
+@pytest.fixture(scope="module")
+def numeric():
+    rng = np.random.default_rng(29)
+    X = np.vstack([rng.normal(4.0 * c, 1.0, (40, 5)) for c in range(4)])
+    novel = rng.normal(8.0, 6.0, (60, 5))
+    return X, novel
+
+
+def _categorical_estimators(X):
+    yield MHKModes(n_clusters=6, lsh={"bands": 8, "rows": 2, "seed": 0}).fit(X)
+    yield KModes(n_clusters=6, seed=0).fit(X)
+    yield FuzzyKModes(n_clusters=6, seed=0, max_iter=5).fit(X)
+
+
+def _numeric_estimators(X):
+    yield LSHKMeans(
+        n_clusters=4, lsh={"family": "simhash", "bands": 8, "rows": 2, "seed": 0}
+    ).fit(X)
+    yield KMeans(n_clusters=4, seed=0).fit(X)
+    yield MiniBatchKMeans(n_clusters=4, seed=0).fit(X)
+
+
+def _all_fitted(categorical, numeric):
+    X_cat, novel_cat = categorical
+    X_num, novel_num = numeric
+    for estimator in _categorical_estimators(X_cat):
+        yield estimator, novel_cat, CATEGORICAL_VARIANT_DTYPES
+    for estimator in _numeric_estimators(X_num):
+        yield estimator, novel_num, NUMERIC_VARIANT_DTYPES
+
+
+class TestEmptyBatch:
+    def test_every_estimator_answers_zero_labels(self, categorical, numeric):
+        for estimator, novel, _ in _all_fitted(categorical, numeric):
+            empty = np.empty((0, novel.shape[1]), dtype=novel.dtype)
+            labels = estimator.predict(empty)
+            assert labels.shape == (0,), type(estimator).__name__
+            assert labels.dtype == np.int64, type(estimator).__name__
+
+    def test_empty_batch_still_checks_width(self, categorical):
+        X, _ = categorical
+        estimator = MHKModes(
+            n_clusters=6, lsh={"bands": 8, "rows": 2, "seed": 0}
+        ).fit(X)
+        with pytest.raises(DataValidationError, match="attributes"):
+            estimator.predict(np.empty((0, X.shape[1] + 1), dtype=np.int64))
+        with pytest.raises(DataValidationError, match="attribute"):
+            estimator.predict(np.empty((0, 0), dtype=np.int64))
+
+    def test_cluster_model_matches_estimator_on_empty(self, categorical):
+        X, _ = categorical
+        estimator = MHKModes(
+            n_clusters=6, lsh={"bands": 8, "rows": 2, "seed": 0}
+        ).fit(X)
+        model = estimator.fitted_model()
+        empty = np.empty((0, X.shape[1]), dtype=np.int64)
+        assert model.predict(empty).shape == (0,)
+
+    def test_fuzzy_memberships_empty(self, categorical):
+        X, _ = categorical
+        estimator = FuzzyKModes(n_clusters=6, seed=0, max_iter=5).fit(X)
+        memberships = estimator.predict_memberships(
+            np.empty((0, X.shape[1]), dtype=np.int64)
+        )
+        assert memberships.shape == (0, 6)
+
+
+class TestSingleRow:
+    def test_single_row_equals_batched_slice(self, categorical, numeric):
+        for estimator, novel, _ in _all_fitted(categorical, numeric):
+            batched = estimator.predict(novel)
+            for row in (0, len(novel) // 2, len(novel) - 1):
+                got = estimator.predict(novel[row : row + 1])
+                assert got.shape == (1,)
+                assert got[0] == batched[row], (type(estimator).__name__, row)
+
+
+class TestVariantInputs:
+    def test_dtype_variants_are_bit_identical(self, categorical, numeric):
+        for estimator, novel, dtypes in _all_fitted(categorical, numeric):
+            for dtype in dtypes:
+                variant = novel.astype(dtype)
+                # score the variant against its exact canonical-dtype
+                # image (float64 noise is not float32-representable, so
+                # the comparison must use the variant's own values)
+                canonical = variant.astype(novel.dtype)
+                assert np.array_equal(canonical.astype(dtype), variant)
+                got = estimator.predict(variant)
+                assert np.array_equal(got, estimator.predict(canonical)), (
+                    type(estimator).__name__,
+                    dtype,
+                )
+
+    def test_fortran_order_is_bit_identical(self, categorical, numeric):
+        for estimator, novel, _ in _all_fitted(categorical, numeric):
+            reference = estimator.predict(novel)
+            variant = np.asfortranarray(novel)
+            assert not variant.flags["C_CONTIGUOUS"]
+            assert np.array_equal(estimator.predict(variant), reference), (
+                type(estimator).__name__
+            )
+
+    def test_artifact_round_trip_matches_on_variants(
+        self, categorical, tmp_path
+    ):
+        X, novel = categorical
+        estimator = MHKModes(
+            n_clusters=6, lsh={"bands": 8, "rows": 2, "seed": 0}
+        ).fit(X)
+        model = estimator.fitted_model()
+        reference = estimator.predict(novel)
+        from repro.data.io import load_cluster_model
+
+        loaded = load_cluster_model(model.save(tmp_path / "variants"))
+        for variant in (
+            novel.astype(np.int32),
+            np.asfortranarray(novel),
+            novel[:1],
+            np.empty((0, novel.shape[1]), dtype=np.int64),
+        ):
+            expected = reference[: len(variant)]
+            assert np.array_equal(estimator.predict(variant), expected)
+            assert np.array_equal(model.predict(variant), expected)
+            assert np.array_equal(loaded.predict(variant), expected)
+
+
+class TestFitValidationUnchanged:
+    """The cold-path fix must not loosen fit-time validation."""
+
+    def test_fit_still_rejects_empty(self):
+        with pytest.raises(DataValidationError):
+            KModes(n_clusters=1, seed=0).fit(np.empty((0, 2), dtype=np.int64))
+        with pytest.raises(DataValidationError):
+            KMeans(n_clusters=1, seed=0).fit(np.empty((0, 2)))
+        with pytest.raises(DataValidationError):
+            MHKModes(n_clusters=1).fit(np.empty((0, 2), dtype=np.int64))
+
+    def test_fit_on_narrow_dtype_matches_int64(self, categorical):
+        X, _ = categorical
+        a = MHKModes(n_clusters=6, lsh={"bands": 8, "rows": 2, "seed": 0}).fit(X)
+        b = MHKModes(n_clusters=6, lsh={"bands": 8, "rows": 2, "seed": 0}).fit(
+            X.astype(np.int32)
+        )
+        assert np.array_equal(a.labels_, b.labels_)
+        assert a.centroids_.dtype == b.centroids_.dtype == np.int64

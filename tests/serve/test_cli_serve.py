@@ -1,0 +1,296 @@
+"""``repro serve`` end to end: subprocess round-trips + service plumbing.
+
+The subprocess tests are the serve-smoke contract the CI job runs: a
+model is saved to disk, ``repro serve`` starts as a real subprocess,
+100 requests stream through it, and every label must agree with
+in-process ``ClusterModel.predict``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ServeSpec
+from repro.core.mh_kmodes import MHKModes
+from repro.data.datgen import RuleBasedGenerator
+from repro.data.io import save_model
+from repro.exceptions import DataValidationError
+from repro.serve import (
+    ModelServer,
+    handle_request,
+    make_http_server,
+    serve_ndjson,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    data = RuleBasedGenerator(
+        n_clusters=8, n_attributes=10, domain_size=150, seed=21
+    ).generate(300)
+    estimator = MHKModes(
+        n_clusters=8, lsh={"bands": 8, "rows": 2, "seed": 2}
+    ).fit(data.X)
+    artifact = estimator.fitted_model()
+    path = save_model(
+        artifact,
+        tmp_path_factory.mktemp("model") / "served",
+        serve=ServeSpec(chunk_items=64, max_batch=512),
+    )
+    return path, artifact, data.X
+
+
+def _serve_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+class TestNDJSONSubprocess:
+    def test_hundred_requests_agree_with_in_process_predict(self, served):
+        path, artifact, X = served
+        rng = np.random.default_rng(0)
+        requests, expected = [], []
+        for request_id in range(100):
+            rows = rng.choice(len(X), size=int(rng.integers(1, 16)), replace=False)
+            requests.append(
+                json.dumps({"id": request_id, "items": X[rows].tolist()})
+            )
+            expected.append(artifact.predict(X[rows]).tolist())
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", str(path)],
+            input="\n".join(requests) + "\n",
+            capture_output=True,
+            text=True,
+            env=_serve_env(),
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        responses = [
+            json.loads(line) for line in completed.stdout.splitlines() if line
+        ]
+        assert len(responses) == 100
+        for request_id, response in enumerate(responses):
+            assert response["id"] == request_id
+            assert response["labels"] == expected[request_id], request_id
+            assert response["count"] == len(expected[request_id])
+        assert "served 100 request(s)" in completed.stderr
+
+    def test_bad_lines_answer_in_band_and_stream_continues(self, served):
+        path, artifact, X = served
+        lines = [
+            "this is not json",
+            json.dumps({"no_items": True, "id": 1}),
+            json.dumps({"items": X[:3].tolist(), "id": 2}),
+            json.dumps([1, 2, 3]),
+            json.dumps({"items": [], "id": 4}),
+        ]
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", str(path)],
+            input="\n".join(lines) + "\n",
+            capture_output=True,
+            text=True,
+            env=_serve_env(),
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        responses = [json.loads(line) for line in completed.stdout.splitlines()]
+        assert len(responses) == 5
+        assert "invalid JSON" in responses[0]["error"]
+        assert responses[1] == {"error": "request object needs an 'items' matrix", "id": 1}
+        assert responses[2]["labels"] == artifact.predict(X[:3]).tolist()
+        assert "JSON object" in responses[3]["error"]
+        assert responses[4] == {"id": 4, "labels": [], "count": 0}
+
+
+class TestHTTPSubprocess:
+    def test_http_round_trip(self, served):
+        path, artifact, X = served
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(path),
+                "--http", "0", "--backend", "thread", "--jobs", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=_serve_env(),
+        )
+        try:
+            ready = process.stdout.readline()
+            assert "http://127.0.0.1:" in ready, ready
+            port = int(ready.rsplit(":", 1)[1])
+            base = f"http://127.0.0.1:{port}"
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    health = json.load(urllib.request.urlopen(f"{base}/health"))
+                    break
+                except OSError:  # pragma: no cover - startup race
+                    assert time.monotonic() < deadline, "server never came up"
+                    time.sleep(0.1)
+            assert health["status"] == "ok"
+
+            body = json.dumps({"items": X[:20].tolist()}).encode("utf-8")
+            request = urllib.request.Request(f"{base}/predict", data=body)
+            response = json.load(urllib.request.urlopen(request))
+            assert response["labels"] == artifact.predict(X[:20]).tolist()
+
+            bad = urllib.request.Request(f"{base}/predict", data=b"not json")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(bad)
+            assert excinfo.value.code == 400
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
+
+
+class TestServicePlumbing:
+    """In-process coverage of the request/response layer."""
+
+    @pytest.fixture()
+    def server(self, served):
+        _, artifact, _ = served
+        with ModelServer(artifact) as server:
+            yield server
+
+    def test_ping(self, server):
+        assert handle_request(server, {"ping": True})["ok"] is True
+
+    def test_distance_request(self, served, server):
+        _, artifact, X = served
+        response = handle_request(
+            server, {"items": X[:4].tolist(), "distance": True}
+        )
+        labels, distances = server.predict_with_distance(X[:4])
+        assert response["labels"] == labels.tolist()
+        assert response["distances"] == distances.tolist()
+
+    def test_non_object_request_raises(self, server):
+        with pytest.raises(DataValidationError, match="JSON object"):
+            handle_request(server, [1, 2])
+
+    def test_oversized_ndjson_line_bounced_before_parsing(self, served):
+        import io
+
+        from repro.serve.service import request_byte_limit
+
+        _, artifact, X = served
+        with ModelServer(artifact, ServeSpec(max_batch=1)) as small:
+            limit = request_byte_limit(small)
+            huge = '{"items": [' + "9" * (limit + 10) + "]}"
+            good = json.dumps({"items": X[:1].tolist(), "id": 1})
+            stdout = io.StringIO()
+            assert serve_ndjson(small, io.StringIO(huge + "\n" + good + "\n"), stdout) == 2
+            first, second = [json.loads(l) for l in stdout.getvalue().splitlines()]
+            assert "byte limit" in first["error"]
+            assert second["labels"] == artifact.predict(X[:1]).tolist()
+
+    def test_oversized_http_body_gets_413(self, served):
+        import threading
+
+        from repro.serve.service import request_byte_limit
+
+        _, artifact, _ = served
+        with ModelServer(artifact, ServeSpec(max_batch=1)) as small:
+            httpd = make_http_server(small)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = httpd.server_address[:2]
+                body = b"x" * (request_byte_limit(small) + 1)
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(
+                        urllib.request.Request(
+                            f"http://{host}:{port}/predict", data=body
+                        )
+                    )
+                assert excinfo.value.code == 413
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+                thread.join(timeout=10)
+
+    def test_serve_ndjson_in_process(self, served, server):
+        import io
+
+        _, artifact, X = served
+        stdin = io.StringIO(
+            "\n".join(
+                [
+                    json.dumps({"items": X[:4].tolist(), "id": 0}),
+                    "",  # blank lines are skipped, not answered
+                    "garbage",
+                    json.dumps({"items": X[:2].tolist(), "id": 2, "distance": True}),
+                    json.dumps({"no_items": 1, "id": 3}),
+                ]
+            )
+            + "\n"
+        )
+        stdout = io.StringIO()
+        assert serve_ndjson(server, stdin, stdout) == 4
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert responses[0]["labels"] == artifact.predict(X[:4]).tolist()
+        assert "invalid JSON" in responses[1]["error"]
+        assert len(responses[2]["distances"]) == 2
+        assert responses[3]["id"] == 3 and "items" in responses[3]["error"]
+
+    def test_http_in_process_round_trip(self, served, server):
+        import threading
+
+        _, artifact, X = served
+        httpd = make_http_server(server)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            base = f"http://{host}:{port}"
+            health = json.load(urllib.request.urlopen(f"{base}/health"))
+            assert health["status"] == "ok"
+            body = json.dumps({"items": X[:6].tolist()}).encode("utf-8")
+            request = urllib.request.Request(f"{base}/predict", data=body)
+            response = json.load(urllib.request.urlopen(request))
+            assert response["labels"] == artifact.predict(X[:6]).tolist()
+            bad = json.dumps({"items": [[1, 2]]}).encode("utf-8")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    urllib.request.Request(f"{base}/predict", data=bad)
+                )
+            assert excinfo.value.code == 400
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+    def test_http_unknown_paths_404(self, served, server):
+        import http.client
+
+        httpd = make_http_server(server)
+        import threading
+
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            for method, request_path in (("GET", "/nope"), ("POST", "/nope")):
+                connection = http.client.HTTPConnection(host, port, timeout=10)
+                connection.request(method, request_path, body=b"{}")
+                assert connection.getresponse().status == 404
+                connection.close()
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
