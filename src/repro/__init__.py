@@ -57,6 +57,7 @@ from repro.api import (
     EstimatorProtocol,
     LSHSpec,
     ServeSpec,
+    StreamSpec,
     TrainSpec,
     available_estimators,
     make_estimator,
@@ -119,6 +120,7 @@ __all__ = [
     "EngineSpec",
     "TrainSpec",
     "ServeSpec",
+    "StreamSpec",
     "ClusterModel",
     "EstimatorProtocol",
     "make_estimator",

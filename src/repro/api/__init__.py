@@ -53,6 +53,7 @@ from repro.api.specs import (
     LSHSpec,
     ServeSpec,
     Spec,
+    StreamSpec,
     TrainSpec,
 )
 
@@ -62,6 +63,7 @@ __all__ = [
     "EngineSpec",
     "TrainSpec",
     "ServeSpec",
+    "StreamSpec",
     "LSH_FAMILIES",
     "BACKEND_NAMES",
     "START_METHODS",

@@ -72,7 +72,7 @@ class EstimatorProtocol:
         (``_default_lsh`` / ``_default_engine`` / ``_default_train``),
         which is what repr/comparison should use.
         """
-        if name in ("lsh", "engine", "train"):
+        if name in ("lsh", "engine", "train", "stream"):
             spec_default = getattr(cls, f"_default_{name}", None)
             if spec_default is not None:
                 return spec_default

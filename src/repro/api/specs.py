@@ -14,8 +14,13 @@ groups first class:
   iteration cap, reference-update mode, empty-cluster policy, cost
   tracking, predict fallback);
 * :class:`ServeSpec` — how a fitted :class:`~repro.api.ClusterModel`
-  is served (backend, workers, predict chunking, request-size cap) by
-  :class:`repro.serve.ModelServer`.
+  is served (backend, workers, predict chunking, request-size cap,
+  whether streaming ``extend`` requests are accepted) by
+  :class:`repro.serve.ModelServer`;
+* :class:`StreamSpec` — how :class:`repro.core.StreamingMHKModes`
+  ingests arrival batches (backend and workers for the chunked
+  signature hashing, and the chunk size bounding both worker tasks
+  and processing segments).
 
 Specs are frozen dataclasses: they validate eagerly at construction,
 compare by value, hash, round-trip through plain dicts
@@ -65,6 +70,7 @@ __all__ = [
     "EngineSpec",
     "TrainSpec",
     "ServeSpec",
+    "StreamSpec",
 ]
 
 #: LSH families the library implements (MinHash for categorical data,
@@ -360,9 +366,57 @@ class ServeSpec(Spec):
     n_jobs: int | None = None
     chunk_items: int = 2048
     max_batch: int = 8192
+    allow_extend: bool = False
 
     def validate(self) -> None:
         _require_choice(self.backend, "backend", BACKEND_NAMES)
         _require_positive(self.n_jobs, "n_jobs", optional=True)
         _require_positive(self.chunk_items, "chunk_items")
         _require_positive(self.max_batch, "max_batch")
+        _require(
+            isinstance(self.allow_extend, bool),
+            f"allow_extend must be a bool, got {self.allow_extend!r}",
+        )
+        if self.allow_extend and self.backend == "process":
+            raise ConfigurationError(
+                "allow_extend requires backend 'serial' or 'thread'; "
+                "process workers hold private index copies that an "
+                "extend in the parent could never reach"
+            )
+
+
+@dataclass(frozen=True, repr=False)
+class StreamSpec(Spec):
+    """How :class:`repro.core.StreamingMHKModes` ingests arrival batches.
+
+    The streaming estimator's :meth:`~repro.core.StreamingMHKModes.extend`
+    pipeline hashes whole chunks at once and can route that hashing
+    through a persistent worker pool; this spec holds the knobs.
+    Labels and refreshed modes are **bit-identical** to the sequential
+    ``push()`` loop for every backend and chunk size — the spec only
+    trades throughput.
+
+    Parameters
+    ----------
+    backend:
+        ``'serial'`` (in-process, the default), ``'thread'`` or
+        ``'process'`` — where chunked signature hashing runs.  The
+        assignment walk itself stays in the caller's process (it is
+        inherently ordered), so parallel backends accelerate the
+        MinHash-dominated part of ingestion.
+    n_jobs:
+        Worker count for parallel backends (``None``: one per CPU).
+    chunk_items:
+        Upper bound on both the rows per worker hashing task and the
+        rows one processing segment handles between index/tracker
+        commits.  Any value produces identical labels and modes.
+    """
+
+    backend: str = "serial"
+    n_jobs: int | None = None
+    chunk_items: int = 8192
+
+    def validate(self) -> None:
+        _require_choice(self.backend, "backend", BACKEND_NAMES)
+        _require_positive(self.n_jobs, "n_jobs", optional=True)
+        _require_positive(self.chunk_items, "chunk_items")

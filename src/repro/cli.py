@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands mirror the library's workflow:
+Six subcommands mirror the library's workflow:
 
 * ``generate`` — materialise a synthetic dataset (datgen-style or
   Yahoo-style) to disk;
@@ -12,12 +12,19 @@ Five subcommands mirror the library's workflow:
   ``--backend``, ``--jobs``, ``--shards``, ... — override spec-file
   fields, and ``--save`` persists the fitted model (npz + json
   sidecar);
+* ``extend`` — bootstrap a :class:`~repro.core.StreamingMHKModes` on
+  the head of a saved dataset and stream the rest in through the
+  chunked batch-ingest pipeline, printing per-chunk phase timings
+  (signatures / shortlist / walk / update / refresh) and items/s;
+  ``--backend``/``--jobs`` route chunk hashing through a worker pool,
+  bit-identical to serial;
 * ``serve`` — load a saved model into a
   :class:`~repro.serve.ModelServer` and answer newline-delimited JSON
   predict requests over stdin/stdout, or over a localhost HTTP
   endpoint with ``--http PORT`` (``0`` picks a free port); a
   :class:`~repro.api.ServeSpec` persisted next to the model supplies
-  the defaults, individual flags override;
+  the defaults, individual flags override, and ``--allow-extend``
+  additionally accepts ``{"op": "extend"}`` streaming-ingest requests;
 * ``compare`` — run a named paper experiment (fig2 … fig10) and print
   the paper-style tables (``--backend``/``--jobs`` apply to the MH
   variants);
@@ -113,6 +120,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the fitted model as PATH.npz + PATH.json",
     )
 
+    ext = sub.add_parser(
+        "extend", help="stream a saved dataset into a bootstrapped model"
+    )
+    ext.add_argument("dataset", help="input .npz path")
+    ext.add_argument("--clusters", type=int, required=True)
+    ext.add_argument(
+        "--bootstrap",
+        type=int,
+        default=None,
+        help="items fitted before streaming starts (default: half)",
+    )
+    ext.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=4096,
+        metavar="ITEMS",
+        help="arrivals ingested per extend() call (default: 4096)",
+    )
+    ext.add_argument("--bands", type=int, default=None, help="default: 20")
+    ext.add_argument("--rows", type=int, default=None, help="default: 5")
+    ext.add_argument("--max-iter", type=int, default=None, help="default: 100")
+    ext.add_argument("--seed", type=int, default=0)
+    ext.add_argument("--absent-code", type=int, default=None)
+    ext.add_argument(
+        "--refresh-interval",
+        type=int,
+        default=200,
+        help="streamed arrivals between mode refreshes (default: 200)",
+    )
+    ext.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="chunk-hashing backend for extend() (default: serial)",
+    )
+    ext.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for parallel extend backends (default: one per CPU)",
+    )
+
     srv = sub.add_parser("serve", help="serve a saved model")
     srv.add_argument("model", help="saved model path (.npz + .json sidecar)")
     srv.add_argument(
@@ -138,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="largest request accepted, in rows (default: 8192)",
+    )
+    srv.add_argument(
+        "--allow-extend",
+        action="store_true",
+        help=(
+            "accept {\"op\": \"extend\"} streaming-ingest requests (the "
+            "index absorbs the rows; serial/thread backends only)"
+        ),
     )
     srv.add_argument(
         "--http",
@@ -343,6 +400,87 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_extend(args: argparse.Namespace) -> int:
+    from repro.api import LSHSpec, StreamSpec, TrainSpec
+    from repro.core.streaming import StreamingMHKModes
+    from repro.data import load_dataset
+    from repro.instrumentation import Timer
+    from repro.metrics import cluster_purity
+
+    dataset = load_dataset(args.dataset)
+    n_items = dataset.X.shape[0]
+    split = args.bootstrap if args.bootstrap is not None else n_items // 2
+    if not 0 < split < n_items:
+        print(
+            f"--bootstrap must leave items to stream (dataset has "
+            f"{n_items} items, got {split})",
+            file=sys.stderr,
+        )
+        return 2
+    lsh = LSHSpec(
+        bands=args.bands if args.bands is not None else 20,
+        rows=args.rows if args.rows is not None else 5,
+        seed=args.seed,
+    )
+    train = (
+        TrainSpec(max_iter=args.max_iter)
+        if args.max_iter is not None
+        else TrainSpec()
+    )
+    stream_spec = StreamSpec(
+        backend=args.backend if args.backend is not None else "serial",
+        n_jobs=args.jobs,
+        chunk_items=args.stream_chunk,
+    )
+    estimator = StreamingMHKModes(
+        n_clusters=args.clusters,
+        lsh=lsh,
+        train=train,
+        stream=stream_spec,
+        absent_code=args.absent_code,
+        refresh_interval=args.refresh_interval,
+    )
+    print(f"dataset   : {dataset.describe()}")
+    print(
+        f"stream    : backend={stream_spec.backend} "
+        f"jobs={stream_spec.n_jobs if stream_spec.n_jobs is not None else 'auto'} "
+        f"chunk={stream_spec.chunk_items} refresh={args.refresh_interval}"
+    )
+    with estimator:
+        with Timer() as boot_timer:
+            estimator.bootstrap(dataset.X[:split])
+        print(f"bootstrap : {split} items in {boot_timer.elapsed_s:.3f}s")
+        streamed = 0
+        streamed_s = 0.0
+        labels_parts = []
+        for start in range(split, n_items, args.stream_chunk):
+            stop = min(start + args.stream_chunk, n_items)
+            with Timer() as chunk_timer:
+                labels_parts.append(estimator.extend(dataset.X[start:stop]))
+            seconds = chunk_timer.elapsed_s
+            streamed += stop - start
+            streamed_s += seconds
+            phases = " ".join(
+                f"{name}={value:.3f}s"
+                for name, value in estimator.extend_stats_.items()
+            )
+            print(
+                f"  chunk {start:>7}..{stop:<7} {stop - start:6d} items "
+                f"{seconds:7.3f}s {(stop - start) / seconds:9.0f} items/s  "
+                f"{phases}"
+            )
+        rate = streamed / streamed_s if streamed_s else float("inf")
+        print(
+            f"streamed  : {streamed} items in {streamed_s:.3f}s "
+            f"({rate:.0f} items/s); fallbacks={estimator.n_fallbacks_}"
+        )
+        if dataset.labels is not None:
+            streamed_labels = np.concatenate(labels_parts)
+            purity = cluster_purity(streamed_labels, dataset.labels[split:])
+            print(f"purity    : {purity:.4f} (streamed items)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import ServeSpec
     from repro.data.io import load_cluster_model, load_serve_spec
@@ -360,6 +498,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
+    if args.allow_extend:
+        overrides["allow_extend"] = True
     spec = spec.replace(**overrides)
     with ModelServer(model, spec) as server:
         if args.http is not None:
@@ -450,6 +590,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
+        "extend": _cmd_extend,
         "serve": _cmd_serve,
         "compare": _cmd_compare,
         "tables": _cmd_tables,

@@ -46,7 +46,11 @@ from repro.api.legacy import resolve_specs
 from repro.api.model import ClusterModel
 from repro.api.protocol import EstimatorProtocol, SpecAttributeSurface
 from repro.api.specs import LSH_FAMILIES, EngineSpec, LSHSpec, TrainSpec
-from repro.core.shortlist import ShortlistAccumulator, apply_fallback
+from repro.core.shortlist import (
+    ShortlistAccumulator,
+    apply_fallback,
+    best_centroids_full_scan,
+)
 from repro.engine import (
     ClusteringEngine,
     SerialBackend,
@@ -571,25 +575,35 @@ class BaseLSHAcceleratedClustering(SpecAttributeSurface, EstimatorProtocol, abc.
             # An empty batch is a legal serving request; the signature
             # and shortlist machinery below assume at least one row.
             return np.empty(0, dtype=np.int64)
-        signatures = self._signatures(X)
+        return self._predict_from_signatures(X, self._signatures(X))
+
+    def _predict_from_signatures(
+        self, X: np.ndarray, signatures: np.ndarray
+    ) -> np.ndarray:
+        """The post-hashing tail of :meth:`predict`.
+
+        Split out so callers that need the signatures for something
+        else too — the serving layer's streaming ``extend`` hashes once
+        and feeds the same matrix to ``insert_batch`` — avoid paying
+        the MinHash pass twice.  ``X`` must already be validated and
+        non-empty.
+        """
         indptr, clusters = self.index_.shortlists_for_signatures(signatures)
         lengths = np.diff(indptr)
         out = np.empty(X.shape[0], dtype=np.int64)
 
         empty = np.flatnonzero(lengths == 0)
         if empty.size:
-            # Resolve the policy once; 'full' yields the all-clusters
-            # shortlist shared by every empty row, 'error' raises.
-            fallback = apply_fallback(
+            # Resolve the policy once ('error' raises here); the 'full'
+            # fallback then scores the empty rows against every centroid
+            # with the broadcast full-scan kernel — an all-clusters
+            # shortlist would gather a (rows, k, m) centroid copy per
+            # block, which is exactly what made batched predict slower
+            # than the per-item loop on all-novel batches.
+            apply_fallback(
                 np.empty(0, dtype=np.int64), self.n_clusters, self.predict_fallback
             )
-            labels, _ = best_shortlisted_centroids(
-                self,
-                X[empty],
-                np.tile(fallback, empty.size),
-                np.full(empty.size, len(fallback), dtype=np.int64),
-                self.centroids_,
-            )
+            labels, _ = best_centroids_full_scan(self, X[empty], self.centroids_)
             out[empty] = labels
 
         filled = np.flatnonzero(lengths > 0)

@@ -33,7 +33,6 @@ from repro.kmodes.dissimilarity import distances_to_modes
 from repro.kmodes.initialization import resolve_init
 from repro.kmodes.modes import compute_modes
 from repro.lsh.minhash import MinHasher
-from repro.lsh.tokens import TokenSets
 
 __all__ = ["MHKModes"]
 
@@ -182,10 +181,9 @@ class MHKModes(BaseLSHAcceleratedClustering):
             if self._fitted_domain_size is None:
                 self._fitted_domain_size = int(X.max()) + 1
             domain = self._fitted_domain_size
-        token_sets = TokenSets.from_categorical_matrix(
+        return self._hasher.signatures_categorical(
             X, domain_size=domain, absent_code=self.absent_code
         )
-        return self._hasher.signatures(token_sets)
 
     def _exhaustive_assign(
         self, X: np.ndarray, centroids: np.ndarray, labels: np.ndarray

@@ -1,8 +1,8 @@
-"""Shortlist accounting and fallback policies.
+"""Shortlist accounting, fallback policies and the full-scan kernel.
 
 The shortlist itself is produced by
 :meth:`repro.lsh.index.ClusteredLSHIndex.candidate_clusters`; this
-module adds the two pieces of plumbing around it:
+module adds the plumbing around it:
 
 * :class:`ShortlistAccumulator` — cheap per-iteration accounting of
   shortlist sizes, feeding the "Avg. Clusters Returned" series of
@@ -10,7 +10,14 @@ module adds the two pieces of plumbing around it:
 * :func:`apply_fallback` — what to do when a shortlist comes back
   empty.  For *indexed* items this cannot happen (an item always
   collides with itself, so its current cluster is always present); it
-  matters when predicting for novel items.
+  matters when predicting for novel items and when streaming them in;
+* :func:`best_centroids_full_scan` — the vectorised resolution of the
+  ``'full'`` fallback: every row against every centroid through the
+  model's ``_block_distances`` kernel, with the centroid matrix
+  *broadcast* (never gathered per row).  Gathering ``centroids[...]``
+  blocks for an all-clusters shortlist is what made batched predict
+  slower than the per-item loop on all-novel batches; broadcasting
+  removes that copy entirely.
 """
 
 from __future__ import annotations
@@ -19,7 +26,16 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ShortlistAccumulator", "apply_fallback", "FALLBACK_POLICIES"]
+__all__ = [
+    "ShortlistAccumulator",
+    "apply_fallback",
+    "best_centroids_full_scan",
+    "FALLBACK_POLICIES",
+]
+
+#: Rough element budget of one broadcast ``(rows, k, m)`` distance
+#: tensor; row blocks are sliced to stay under it.
+_FULL_SCAN_ELEMENT_BUDGET = 4_000_000
 
 #: Valid fallback policies for empty shortlists on novel items.
 FALLBACK_POLICIES = ("full", "error")
@@ -106,3 +122,38 @@ def apply_fallback(
     raise ConfigurationError(
         "empty shortlist for a novel item and fallback policy is 'error'"
     )
+
+
+def best_centroids_full_scan(
+    model, X: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-minimum centroid per row against the *full* centroid matrix.
+
+    Scores ``X`` against every centroid with the model's vectorised
+    ``_block_distances`` kernel, broadcasting the centroid matrix
+    across the row block instead of gathering an explicit
+    ``(rows, k, m)`` copy, and reduces with a row-wise ``argmin`` —
+    ties resolve to the smallest centroid id, exactly like an
+    all-clusters shortlist would.  Row blocks are sized to keep the
+    broadcast distance tensor under a fixed element budget.
+
+    Returns ``(best_label, best_distance)`` per row.
+    """
+    n, m = X.shape
+    k = centroids.shape[0]
+    best_label = np.empty(n, dtype=np.int64)
+    best_distance = np.empty(n, dtype=np.float64)
+    rows_at_once = max(1, _FULL_SCAN_ELEMENT_BUDGET // max(1, k * m))
+    for lo in range(0, n, rows_at_once):
+        hi = min(lo + rows_at_once, n)
+        distances = np.asarray(
+            model._block_distances(
+                X[lo:hi], np.broadcast_to(centroids, (hi - lo, k, m))
+            ),
+            dtype=np.float64,
+        )
+        rows = np.arange(hi - lo)
+        best_pos = np.argmin(distances, axis=1)
+        best_label[lo:hi] = best_pos
+        best_distance[lo:hi] = distances[rows, best_pos]
+    return best_label, best_distance

@@ -102,12 +102,19 @@ def best_shortlisted_centroids(
 
     ``candidates`` concatenates each row's (non-empty, sorted) centroid
     shortlist; ``sizes`` holds the per-row lengths.  The ragged lists
-    are padded into a dense ``(rows, smax)`` block, scored with the
-    model's vectorised ``_block_distances`` kernel in memory-capped row
-    slices, and reduced with a masked argmin.  Because every shortlist
-    is sorted, the first minimum is the smallest-id centroid among the
-    ties — exactly what a per-row ``np.argmin`` over the same shortlist
-    would pick.
+    are padded into dense per-block ``(rows, smax)`` tiles, scored with
+    the model's vectorised ``_block_distances`` kernel in memory-capped
+    row slices, and reduced with a masked argmin.  Because every
+    shortlist is sorted, the first minimum is the smallest-id centroid
+    among the ties — exactly what a per-row ``np.argmin`` over the same
+    shortlist would pick.
+
+    When the size distribution is skewed (a few huge shortlists among
+    many tiny ones — typical for novel items hitting the predict
+    fallback neighbourhoods), rows are processed in size-sorted order
+    so each tile pads only to *its own* maximum, instead of every row
+    paying for the global one.  Results are per-row and therefore
+    identical under any processing order.
 
     Returns ``(best_label, best_distance)`` per row.
     """
@@ -115,26 +122,46 @@ def best_shortlisted_centroids(
     smax = int(sizes.max())
     offsets = np.zeros(count, dtype=np.int64)
     np.cumsum(sizes[:-1], out=offsets[1:])
-    row_ids = np.repeat(np.arange(count, dtype=np.int64), sizes)
-    positions = np.arange(len(candidates), dtype=np.int64) - np.repeat(offsets, sizes)
-    padded = np.zeros((count, smax), dtype=np.int64)
-    valid = np.zeros((count, smax), dtype=bool)
-    padded[row_ids, positions] = candidates
-    valid[row_ids, positions] = True
+
+    # Size-sort only when padding to the global smax would inflate the
+    # scored elements noticeably; unskewed inputs keep row order (and
+    # the argsort off the hot per-iteration pass).
+    skewed = smax * count >= 2 * len(candidates)
+    order = np.argsort(sizes, kind="stable") if skewed else None
 
     best_label = np.empty(count, dtype=np.int64)
     best_distance = np.empty(count, dtype=np.float64)
-    rows_at_once = max(1, min(count, _BLOCK_ELEMENT_BUDGET // max(1, smax * m)))
-    for r0, r1 in iter_blocks(0, count, rows_at_once):
-        distances = np.asarray(
-            model._block_distances(block[r0:r1], centroids[padded[r0:r1]]),
-            dtype=np.float64,
-        )
-        distances[~valid[r0:r1]] = np.inf
-        rows = np.arange(r1 - r0)
-        best_pos = np.argmin(distances, axis=1)
-        best_distance[r0:r1] = distances[rows, best_pos]
-        best_label[r0:r1] = padded[r0:r1][rows, best_pos]
+    for c0, c1 in iter_blocks(0, count, _BLOCK_ITEMS):
+        chunk_sel = order[c0:c1] if skewed else slice(c0, c1)
+        chunk_smax = int(sizes[chunk_sel].max())
+        rows_at_once = max(1, _BLOCK_ELEMENT_BUDGET // max(1, chunk_smax * m))
+        for r0, r1 in iter_blocks(c0, c1, rows_at_once):
+            rows_sel = order[r0:r1] if skewed else slice(r0, r1)
+            take = r1 - r0
+            tile_sizes = sizes[rows_sel]
+            tile_smax = int(tile_sizes.max())
+            flat = int(tile_sizes.sum())
+            row_ids = np.repeat(np.arange(take, dtype=np.int64), tile_sizes)
+            starts = np.zeros(take, dtype=np.int64)
+            np.cumsum(tile_sizes[:-1], out=starts[1:])
+            positions = np.arange(flat, dtype=np.int64) - np.repeat(
+                starts, tile_sizes
+            )
+            flat_idx = np.repeat(offsets[rows_sel], tile_sizes) + positions
+            padded = np.zeros((take, tile_smax), dtype=np.int64)
+            valid = np.zeros((take, tile_smax), dtype=bool)
+            padded[row_ids, positions] = candidates[flat_idx]
+            valid[row_ids, positions] = True
+
+            distances = np.asarray(
+                model._block_distances(block[rows_sel], centroids[padded]),
+                dtype=np.float64,
+            )
+            distances[~valid] = np.inf
+            rows = np.arange(take)
+            best_pos = np.argmin(distances, axis=1)
+            best_distance[rows_sel] = distances[rows, best_pos]
+            best_label[rows_sel] = padded[rows, best_pos]
     return best_label, best_distance
 
 

@@ -262,6 +262,27 @@ class ShardedClusteredLSHIndex(BaseClusteredIndex):
         for j in range(self.bands):
             self._bucket_append(tables[j], fills[j], int(keys[j]), item)
 
+    def _insert_many_into_buckets(
+        self, keys: np.ndarray, items: np.ndarray
+    ) -> None:
+        """Bulk-insert a chunk, round-robined over the shards.
+
+        Items land in the same ``item % n_shards`` shard the one-by-one
+        path would pick, then each shard absorbs its slice as per-band
+        key runs; queries union all shards, so the partition never
+        affects results.
+        """
+        assert self._shards is not None and self._shard_fill is not None
+        shard_of = items % self.n_shards
+        for shard in np.unique(shard_of):
+            selected = shard_of == shard
+            self._append_key_runs(
+                self._shards[shard],
+                self._shard_fill[shard],
+                keys[selected],
+                items[selected],
+            )
+
     def _bucket_sizes(self) -> np.ndarray:
         assert self._shards is not None and self._shard_fill is not None
         return np.array(

@@ -238,6 +238,18 @@ class BaseClusteredIndex:
         """Hash one new item into the layout's bucket tables."""
         raise NotImplementedError
 
+    def _insert_many_into_buckets(
+        self, keys: np.ndarray, items: np.ndarray
+    ) -> None:
+        """Hash a batch of new items into the layout's bucket tables.
+
+        The generic fallback loops :meth:`_insert_into_buckets`; both
+        concrete layouts override with the vectorised per-band run
+        appends of :meth:`_append_key_runs`.
+        """
+        for key_row, item in zip(keys, items):
+            self._insert_into_buckets(key_row, int(item))
+
     def _bucket_sizes(self) -> np.ndarray:
         """Logical member count of every non-empty bucket."""
         raise NotImplementedError
@@ -471,19 +483,107 @@ class BaseClusteredIndex:
             )
         keys = compute_band_keys(signature[None, :], self.bands, self.rows)[0]
         item = self._n
-        if item == len(self._keys_buf):
-            capacity = max(4, 2 * item)
-            keys_buf = np.empty((capacity, self.bands), dtype=np.uint64)
-            keys_buf[:item] = self._keys_buf[:item]
-            self._keys_buf = keys_buf
-            assign_buf = np.empty(capacity, dtype=np.int64)
-            assign_buf[:item] = self._assign_buf[:item]
-            self._assign_buf = assign_buf
+        self._ensure_item_capacity(item + 1)
         self._keys_buf[item] = keys
         self._assign_buf[item] = np.int64(cluster)
         self._n = item + 1
         self._insert_into_buckets(keys, item)
         return item
+
+    def insert_batch(
+        self,
+        signatures: np.ndarray,
+        clusters: np.ndarray,
+        band_keys: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Add a whole chunk of new items at once; returns their item ids.
+
+        Row-for-row equivalent to calling :meth:`insert` on each
+        ``(signature, cluster)`` pair in order, but amortised three
+        ways: band keys for the chunk are computed in **one**
+        :func:`~repro.lsh.bands.compute_band_keys` call, the doubling
+        buffers grow to the final size in one step, and bucket
+        membership is appended as per-band *runs* (one dict touch per
+        distinct bucket key in the chunk, not one per item) through
+        :meth:`_insert_many_into_buckets`.  This is the bulk-ingest
+        path of the streaming extension.
+
+        Parameters
+        ----------
+        signatures:
+            ``(n_new, bands * rows)`` signature matrix of the arrivals.
+        clusters:
+            ``(n_new,)`` cluster reference per arrival.
+        band_keys:
+            Optional precomputed ``(n_new, bands)`` key matrix for the
+            same signatures (callers that already banded the chunk —
+            the streaming collision walk does — skip the rehash).
+        """
+        self._check_built()
+        self._check_mutable("insert_batch")
+        if self._nbr_indptr is not None:
+            raise ConfigurationError(
+                "insert_batch requires precompute_neighbours=False; grouped "
+                "neighbour lists cannot absorb new items"
+            )
+        assert self._keys_buf is not None and self._assign_buf is not None
+        clusters = np.asarray(clusters, dtype=np.int64)
+        if clusters.ndim != 1:
+            raise DataValidationError(
+                f"clusters must be 1-D, got ndim={clusters.ndim}"
+            )
+        if band_keys is None:
+            signatures = np.asarray(signatures)
+            if signatures.ndim != 2:
+                raise DataValidationError(
+                    f"signatures must be 2-D, got ndim={signatures.ndim}"
+                )
+            if len(signatures) != len(clusters):
+                raise DataValidationError(
+                    f"{len(signatures)} signatures but {len(clusters)} clusters"
+                )
+            if len(clusters) == 0:
+                return np.empty(0, dtype=np.int64)
+            keys = compute_band_keys(signatures, self.bands, self.rows)
+        else:
+            keys = np.asarray(band_keys, dtype=np.uint64)
+            if keys.ndim != 2 or keys.shape[1] != self.bands:
+                raise DataValidationError(
+                    f"band_keys must be (n_new, {self.bands}), got shape "
+                    f"{keys.shape}"
+                )
+            if len(keys) != len(clusters):
+                raise DataValidationError(
+                    f"{len(keys)} key rows but {len(clusters)} clusters"
+                )
+            if len(clusters) == 0:
+                return np.empty(0, dtype=np.int64)
+        n_new = len(clusters)
+        start = self._n
+        items = np.arange(start, start + n_new, dtype=np.int64)
+        self._ensure_item_capacity(start + n_new)
+        self._keys_buf[start : start + n_new] = keys
+        self._assign_buf[start : start + n_new] = clusters
+        self._n = start + n_new
+        self._insert_many_into_buckets(keys, items)
+        return items
+
+    def _ensure_item_capacity(self, target: int) -> None:
+        """Grow the doubling item buffers to hold ``target`` items."""
+        assert self._keys_buf is not None and self._assign_buf is not None
+        capacity = len(self._keys_buf)
+        if target <= capacity:
+            return
+        new_capacity = max(4, capacity)
+        while new_capacity < target:
+            new_capacity *= 2
+        used = self._n
+        keys_buf = np.empty((new_capacity, self.bands), dtype=np.uint64)
+        keys_buf[:used] = self._keys_buf[:used]
+        self._keys_buf = keys_buf
+        assign_buf = np.empty(new_capacity, dtype=np.int64)
+        assign_buf[:used] = self._assign_buf[:used]
+        self._assign_buf = assign_buf
 
     @staticmethod
     def _bucket_append(
@@ -510,6 +610,67 @@ class BaseClusteredIndex:
             members = buf
         members[used] = item
         fill[key] = used + 1
+
+    @staticmethod
+    def _bucket_append_run(
+        table: dict[int, np.ndarray],
+        fill: dict[int, int],
+        key: int,
+        run: np.ndarray,
+    ) -> None:
+        """Append a whole run of members to one bucket in one step.
+
+        The batched counterpart of :meth:`_bucket_append`: capacity
+        grows at most once per call and the run is copied in with one
+        slice assignment.  Logical bucket contents end up identical to
+        appending the run's members one by one.
+        """
+        count = len(run)
+        members = table.get(key)
+        if members is None:
+            buf = np.empty(max(4, count), dtype=np.int64)
+            buf[:count] = run
+            table[key] = buf
+            fill[key] = count
+            return
+        used = fill.get(key, len(members))
+        need = used + count
+        if need > len(members):
+            buf = np.empty(max(4, 2 * used, need), dtype=np.int64)
+            buf[:used] = members[:used]
+            table[key] = buf
+            members = buf
+        members[used:need] = run
+        fill[key] = need
+
+    @classmethod
+    def _append_key_runs(
+        cls,
+        tables: list[dict[int, np.ndarray]],
+        fills: list[dict[int, int]],
+        keys: np.ndarray,
+        items: np.ndarray,
+    ) -> None:
+        """Bulk-insert ``items`` into per-band bucket tables.
+
+        Per band, the chunk's keys are sorted once and each distinct
+        bucket receives its members as a single run — O(distinct keys)
+        dict operations per band instead of O(items).  Within a bucket
+        members keep ascending item order, matching what sequential
+        appends would produce.
+        """
+        for j in range(len(tables)):
+            column = keys[:, j]
+            order = np.argsort(column, kind="stable")
+            sorted_keys = column[order]
+            boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.append(boundaries, len(order))
+            run_items = items[order]
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                cls._bucket_append_run(
+                    tables[j], fills[j], int(sorted_keys[s]), run_items[s:e]
+                )
 
     @staticmethod
     def _bucket_members(
@@ -733,6 +894,12 @@ class ClusteredLSHIndex(BaseClusteredIndex):
         assert self._tables is not None and self._fill is not None
         for j in range(self.bands):
             self._bucket_append(self._tables[j], self._fill[j], int(keys[j]), item)
+
+    def _insert_many_into_buckets(
+        self, keys: np.ndarray, items: np.ndarray
+    ) -> None:
+        assert self._tables is not None and self._fill is not None
+        self._append_key_runs(self._tables, self._fill, keys, items)
 
     def _bucket_sizes(self) -> np.ndarray:
         assert self._tables is not None and self._fill is not None

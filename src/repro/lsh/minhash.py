@@ -119,6 +119,41 @@ class MinHasher:
             out[non_empty, i] = np.minimum.reduceat(hashed, starts)
         return out
 
+    def signatures_categorical(
+        self,
+        X: np.ndarray,
+        domain_size: int | None = None,
+        absent_code: int | None = None,
+    ) -> np.ndarray:
+        """Batch signatures straight from a categorical code matrix.
+
+        Fuses the *(attribute, value)* token encoding (with optional
+        presence filtering) and the ragged signature kernel into one
+        call — the single MinHash entry point shared by the fit path
+        (:meth:`repro.core.MHKModes._signatures`) and the streaming
+        ingest pipeline (:meth:`repro.core.StreamingMHKModes.extend`),
+        so an item hashes identically no matter which side touched it.
+
+        Parameters
+        ----------
+        X:
+            ``(n_items, n_attributes)`` integer category codes.
+        domain_size:
+            Global category domain size (default: inferred from ``X``).
+        absent_code:
+            Value treated as "feature not present" and excluded from
+            hashing (the paper's presence filtering), or ``None``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_items, n_hashes)`` int64 signature matrix.
+        """
+        token_sets = TokenSets.from_categorical_matrix(
+            X, domain_size=domain_size, absent_code=absent_code
+        )
+        return self.signatures(token_sets)
+
     def signatures_matrix(self, token_matrix: np.ndarray) -> np.ndarray:
         """Signatures for a dense token matrix (every attribute present).
 

@@ -25,10 +25,23 @@ small label chunks ride the result pickles.  A lock serialises buffer
 use, so any number of caller threads may hammer one server; thread
 and serial backends need no buffer (shared address space) and dispatch
 concurrently.
+
+With ``ServeSpec(allow_extend=True)`` the server additionally accepts
+**streaming ingest**: :meth:`ModelServer.extend` assigns a batch
+through the same pooled predict path, then bulk-inserts the rows into
+the (insertable, unfrozen) index with
+:meth:`~repro.lsh.index.BaseClusteredIndex.insert_batch`, so later
+requests shortlist against them.  The model's centroids stay fixed —
+serving never retrains — and a mutation lock serialises requests while
+streaming is on (the index is being written).  Process backends are
+rejected for streaming servers: their workers hold private index
+copies an insert in the parent could never reach.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import threading
 
 import numpy as np
@@ -55,6 +68,23 @@ def _predict_chunk(static, dynamic, span: tuple[int, int]) -> np.ndarray:
     start, stop = span
     X = resolve_array(dynamic)
     return static.predict(X[start:stop])
+
+
+def _extend_chunk(
+    static, dynamic, span: tuple[int, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Kernel: label one row span AND return its signatures.
+
+    The streaming-ingest variant of :func:`_predict_chunk`: MinHash is
+    the dominant per-row cost, and the caller needs the signatures
+    again for ``insert_batch`` — so the chunk hashes once and returns
+    ``(labels, signatures)``.  Only dispatched on shared-address-space
+    pools (``allow_extend`` rejects process backends).
+    """
+    start, stop = span
+    X = resolve_array(dynamic)[start:stop]
+    signatures = static._signatures(X)
+    return static._predict_from_signatures(X, signatures), signatures
 
 
 class ModelServer:
@@ -96,14 +126,36 @@ class ModelServer:
             )
         self.model = model
         self.spec = spec
-        # The serving estimator: index rebuilt once, then frozen — every
-        # worker queries the same read-only structure.
-        self._estimator = model.frozen_estimator()
+        if spec.allow_extend:
+            if model.band_keys is None:
+                raise ConfigurationError(
+                    "allow_extend needs a model with an exported index "
+                    "(band keys); this artifact carries none"
+                )
+            # Streaming serving: reconstruct with precompute_neighbours
+            # forced off, so the one index _restore_fit_state builds is
+            # already insertable (and stays unfrozen) — no throwaway
+            # neighbour-CSR build, no second rebuild.
+            insertable = dataclasses.replace(
+                model,
+                params={**model.params, "precompute_neighbours": False},
+            )
+            self._estimator = insertable.to_estimator()
+        else:
+            # The serving estimator: index rebuilt once, then frozen —
+            # every worker queries the same read-only structure.
+            self._estimator = model.frozen_estimator()
         self._backend = resolve_backend(spec.backend, spec.n_jobs)
         self._buffer_lock = threading.Lock()
         self._stats_lock = threading.Lock()
+        # Serialises whole requests while the index is mutable
+        # (allow_extend); read-only serving stays lock-free.
+        self._mutate_lock: threading.RLock | None = (
+            threading.RLock() if spec.allow_extend else None
+        )
         self._requests = 0
         self._items = 0
+        self._extended = 0
         self._closed = False
         self._x_buffer: SharedArray | None = None
         self._pool: PersistentPool | None = None
@@ -147,6 +199,12 @@ class ModelServer:
         with self._stats_lock:
             return self._items
 
+    @property
+    def items_extended_(self) -> int:
+        """Rows absorbed into the index via :meth:`extend`."""
+        with self._stats_lock:
+            return self._extended
+
     def __enter__(self) -> "ModelServer":
         return self
 
@@ -180,7 +238,60 @@ class ModelServer:
         pool — the next request proceeds normally.
         """
         X = self._prepare(X)
-        return self._predict_validated(X)
+        with self._mutation_guard():
+            return self._predict_validated(X)
+
+    def extend(self, X: np.ndarray) -> np.ndarray:
+        """Assign a batch *and* absorb it into the serving index.
+
+        Streaming ingest through the serving pool: the rows are
+        labelled exactly like :meth:`predict` (same chunked dispatch,
+        same shortlist path against the current index state), then
+        hashed once more and bulk-inserted with their labels via
+        :meth:`~repro.lsh.index.BaseClusteredIndex.insert_batch`, so
+        every later request's shortlists see them.  Centroids stay
+        fixed — the model itself is immutable; what grows is the
+        index's notion of the neighbourhoods.
+
+        Requires ``ServeSpec(allow_extend=True)``.  Requests are
+        serialised against each other and against :meth:`predict`
+        while streaming is on.
+        """
+        if not self.spec.allow_extend:
+            raise ConfigurationError(
+                "this ModelServer is read-only; serve with "
+                "ServeSpec(allow_extend=True) to accept extend requests"
+            )
+        X = self._prepare(X)
+        n = X.shape[0]
+        with self._mutation_guard():
+            if n == 0:
+                labels = np.empty(0, dtype=np.int64)
+            elif self._pool is None:
+                signatures = self._estimator._signatures(X)
+                labels = self._estimator._predict_from_signatures(
+                    X, signatures
+                )
+            else:
+                results = self._pool.run(
+                    _extend_chunk, self._spans(n), dynamic=X
+                )
+                labels = np.concatenate([chunk for chunk, _ in results])
+                signatures = np.concatenate([sigs for _, sigs in results])
+            if n:
+                self._estimator._index.insert_batch(signatures, labels)
+        with self._stats_lock:
+            self._requests += 1
+            self._items += n
+            self._extended += n
+        return labels
+
+    def _mutation_guard(self):
+        return (
+            contextlib.nullcontext()
+            if self._mutate_lock is None
+            else self._mutate_lock
+        )
 
     def _prepare(self, X: np.ndarray) -> np.ndarray:
         """Validate one request into its canonical matrix.
@@ -244,7 +355,8 @@ class ModelServer:
                 "estimators only"
             )
         X = self._prepare(X)  # validate once; predict and scoring share it
-        labels = self._predict_validated(X)
+        with self._mutation_guard():
+            labels = self._predict_validated(X)
         if len(labels) == 0:
             return labels, np.empty(0, dtype=np.float64)
         centroids = np.asarray(self.model.centroids)

@@ -15,9 +15,14 @@ Request shape::
     {"items": [[...], ...]}            → {"labels": [...], "count": n}
     {"items": [...], "distance": true} → + {"distances": [...]}
     {"items": [...], "id": 7}          → response echoes {"id": 7}
+    {"items": [...], "op": "extend"}   → + {"extended": n}  (streaming
+                                         ingest; needs a server with
+                                         ServeSpec(allow_extend=True))
     {"ping": true}                     → {"ok": true, "model": "..."}
 
-Labels come from :meth:`repro.serve.ModelServer.predict`, so they are
+Labels come from :meth:`repro.serve.ModelServer.predict` (or
+:meth:`~repro.serve.ModelServer.extend` for the ``extend`` op, which
+additionally inserts the rows into the serving index), so they are
 bit-identical to in-process ``ClusterModel.predict`` — the CLI
 round-trip test asserts exactly that.
 """
@@ -75,11 +80,24 @@ def handle_request(server, payload) -> dict:
         return {"ok": True, "model": repr(server.model)}
     if "items" not in payload:
         raise DataValidationError("request object needs an 'items' matrix")
+    op = payload.get("op", "predict")
+    if op not in ("predict", "extend"):
+        raise DataValidationError(
+            f"unknown op {op!r}; choose 'predict' or 'extend'"
+        )
     X = _items_to_matrix(payload["items"], server.model.n_attributes)
     response: dict = {}
     if "id" in payload:
         response["id"] = payload["id"]
-    if payload.get("distance"):
+    if op == "extend":
+        if payload.get("distance"):
+            raise DataValidationError(
+                "distance=true is a predict-op feature; extend requests "
+                "return labels only"
+            )
+        labels = server.extend(X)
+        response["extended"] = int(len(labels))
+    elif payload.get("distance"):
         labels, distances = server.predict_with_distance(X)
         response["distances"] = distances.tolist()
     else:

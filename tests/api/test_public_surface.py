@@ -16,6 +16,7 @@ from repro.api import (
     EngineSpec,
     LSHSpec,
     ServeSpec,
+    StreamSpec,
     TrainSpec,
     available_estimators,
 )
@@ -29,7 +30,7 @@ def current_surface() -> dict:
         "estimators": sorted(available_estimators()),
         "spec_fields": {
             cls.__name__: [f.name for f in dataclasses.fields(cls)]
-            for cls in (LSHSpec, EngineSpec, TrainSpec, ServeSpec)
+            for cls in (LSHSpec, EngineSpec, TrainSpec, ServeSpec, StreamSpec)
         },
     }
 

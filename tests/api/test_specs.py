@@ -176,3 +176,39 @@ class TestDoctests:
         result = doctest.testmod(module, raise_on_error=False, verbose=False)
         assert result.attempted > 0
         assert result.failed == 0
+
+
+class TestStreamSpec:
+    def test_defaults_and_repr(self):
+        from repro.api import StreamSpec
+
+        spec = StreamSpec()
+        assert spec.backend == "serial"
+        assert spec.n_jobs is None
+        assert spec.chunk_items == 8192
+        assert repr(spec) == "StreamSpec()"
+        assert repr(StreamSpec(backend="thread")) == "StreamSpec(backend='thread')"
+
+    def test_validation(self):
+        from repro.api import StreamSpec
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            StreamSpec(backend="gpu")
+        with pytest.raises(ConfigurationError):
+            StreamSpec(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            StreamSpec(chunk_items=-1)
+
+    def test_dict_round_trip(self):
+        from repro.api import StreamSpec
+
+        spec = StreamSpec(backend="process", n_jobs=3, chunk_items=64)
+        assert StreamSpec.from_dict(spec.to_dict()) == spec
+
+    def test_serve_spec_allow_extend_round_trip(self):
+        from repro.api import ServeSpec
+
+        spec = ServeSpec(backend="thread", allow_extend=True)
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+        assert "allow_extend=True" in repr(spec)

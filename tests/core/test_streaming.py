@@ -172,3 +172,99 @@ class TestStreamingMHKModes:
         new_id = insertable.insert(sigs[0], 7)
         assert new_id == 2
         assert 7 in insertable.candidate_clusters(0).tolist()
+
+
+class TestBatchExtendPipeline:
+    """Unit-level checks of the batch ingest path (the property suite in
+    tests/properties/test_extend_equivalence.py pins full equivalence)."""
+
+    def test_push_then_extend_matches_pure_push(self, stream_data):
+        # a partial refresh window left by push() must carry into the
+        # extend segmentation
+        data, split = stream_data
+        ref = StreamingMHKModes(
+            n_clusters=12, bands=20, rows=2, seed=0, refresh_interval=7
+        ).bootstrap(data.X[:split])
+        mixed = StreamingMHKModes(
+            n_clusters=12, bands=20, rows=2, seed=0, refresh_interval=7
+        ).bootstrap(data.X[:split])
+        ref_labels = np.array([ref.push(row) for row in data.X[split:]])
+        head = [mixed.push(row) for row in data.X[split : split + 5]]
+        tail = mixed.extend(data.X[split + 5 :])
+        assert np.array_equal(ref_labels, np.concatenate([head, tail]))
+        assert np.array_equal(ref.modes_, mixed.modes_)
+        assert ref.n_fallbacks_ == mixed.n_fallbacks_
+
+    def test_extend_records_phase_timings(self, stream_data):
+        data, split = stream_data
+        stream = StreamingMHKModes(n_clusters=12, bands=20, rows=2, seed=0)
+        stream.bootstrap(data.X[:split])
+        stream.extend(data.X[split:])
+        stats = stream.extend_stats_
+        assert set(stats) == {
+            "signatures", "shortlist", "walk", "update", "refresh"
+        }
+        assert all(value >= 0.0 for value in stats.values())
+
+    def test_extend_validates_input(self, stream_data):
+        data, split = stream_data
+        stream = StreamingMHKModes(n_clusters=12, bands=8, rows=1, seed=0)
+        stream.bootstrap(data.X[:split])
+        with pytest.raises(DataValidationError):
+            stream.extend(data.X[split])  # 1-D
+        with pytest.raises(DataValidationError):
+            stream.extend(data.X[split:, :3])  # wrong width
+        with pytest.raises(DataValidationError):
+            stream.extend(data.X[split:].astype(float))  # non-integer
+
+    def test_extend_error_fallback_commits_nothing_of_the_segment(
+        self, stream_data
+    ):
+        data, split = stream_data
+        stream = StreamingMHKModes(
+            n_clusters=12, bands=4, rows=5, seed=0, stream_fallback="error"
+        )
+        stream.bootstrap(data.X[:split])
+        seen_before = stream.n_seen_
+        alien = np.full((3, data.n_attributes), 1, dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            stream.extend(alien)
+        assert stream.n_seen_ == seen_before
+
+    def test_close_is_idempotent_and_context_managed(self, stream_data):
+        from repro.api import StreamSpec
+        from repro.engine.pool import live_pool_count
+
+        data, split = stream_data
+        with StreamingMHKModes(
+            n_clusters=12,
+            bands=8,
+            rows=1,
+            seed=0,
+            stream=StreamSpec(backend="thread", n_jobs=2, chunk_items=16),
+        ) as stream:
+            stream.bootstrap(data.X[:split])
+            stream.extend(data.X[split:])
+            assert stream._stream_pool is not None
+            stream.close()
+            stream.close()
+            assert stream._stream_pool is None
+        assert live_pool_count() == 0
+
+    def test_set_params_releases_the_pool(self, stream_data):
+        from repro.api import StreamSpec
+        from repro.engine.pool import live_pool_count
+
+        data, split = stream_data
+        stream = StreamingMHKModes(
+            n_clusters=12,
+            bands=8,
+            rows=1,
+            seed=0,
+            stream=StreamSpec(backend="thread", n_jobs=2),
+        )
+        stream.bootstrap(data.X[:split])
+        stream.extend(data.X[split:])
+        assert stream._stream_pool is not None
+        stream.set_params(stream=StreamSpec())
+        assert live_pool_count() == 0

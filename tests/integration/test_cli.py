@@ -275,3 +275,61 @@ class TestCompareCommand:
     def test_unknown_experiment(self, capsys):
         assert main(["compare", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestExtendCommand:
+    @pytest.fixture
+    def dataset_path(self, tmp_path):
+        ds = RuleBasedGenerator(
+            n_clusters=8, n_attributes=10, domain_size=200, seed=6
+        ).generate(240)
+        return save_dataset(ds, tmp_path / "stream.npz")
+
+    def test_streams_with_per_chunk_timings(self, dataset_path, capsys):
+        code = main(
+            [
+                "extend", str(dataset_path),
+                "--clusters", "8", "--bootstrap", "120",
+                "--stream-chunk", "40", "--bands", "10", "--rows", "2",
+                "--max-iter", "5", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bootstrap : 120 items" in out
+        assert out.count("chunk") >= 3  # 120 streamed / 40 per chunk
+        assert "signatures=" in out and "walk=" in out and "update=" in out
+        assert "streamed  : 120 items" in out
+        assert "purity" in out
+
+    def test_parallel_backend_matches_serial(self, dataset_path, capsys):
+        code = main(
+            [
+                "extend", str(dataset_path),
+                "--clusters", "8", "--bootstrap", "120",
+                "--backend", "thread", "--jobs", "2",
+                "--bands", "10", "--rows", "2", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        serial_out = capsys.readouterr().out
+        assert "backend=thread" in serial_out
+        assert "streamed  : 120 items" in serial_out
+
+    def test_bootstrap_must_leave_items_to_stream(self, dataset_path, capsys):
+        code = main(
+            [
+                "extend", str(dataset_path),
+                "--clusters", "8", "--bootstrap", "240",
+            ]
+        )
+        assert code == 2
+        assert "leave items to stream" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["extend", "ds.npz", "--clusters", "5"]
+        )
+        assert args.stream_chunk == 4096
+        assert args.backend is None
+        assert args.refresh_interval == 200

@@ -186,3 +186,106 @@ class TestStats:
         index = build_index()
         stats = index.stats()
         assert stats.n_buckets <= 8 * 5
+
+
+class TestInsertBatch:
+    """insert_batch == insert row by row, on both table layouts."""
+
+    @staticmethod
+    def _signatures(n, width, seed=11):
+        rng = np.random.default_rng(seed)
+        ts = TokenSets.from_lists(
+            [rng.integers(0, 50, size=rng.integers(1, 6)).tolist() for _ in range(n)]
+        )
+        return MinHasher(width, seed=5).signatures(ts)
+
+    def _fresh_pair(self, sharded):
+        from repro.engine.sharded_index import ShardedClusteredLSHIndex
+
+        sigs = self._signatures(12, 16)
+        assignments = np.arange(12) % 4
+        if sharded:
+            make = lambda: ShardedClusteredLSHIndex(
+                8, 2, n_shards=3, precompute_neighbours=False
+            ).build(sigs, assignments)
+        else:
+            make = lambda: ClusteredLSHIndex(
+                8, 2, precompute_neighbours=False
+            ).build(sigs, assignments)
+        return make(), make()
+
+    @pytest.mark.parametrize("sharded", [False, True])
+    def test_matches_sequential_insert(self, sharded):
+        batched, sequential = self._fresh_pair(sharded)
+        new_sigs = self._signatures(9, 16, seed=77)
+        clusters = np.array([3, 1, 0, 2, 2, 1, 0, 3, 1])
+        ids = batched.insert_batch(new_sigs, clusters)
+        expected = [sequential.insert(s, int(c)) for s, c in zip(new_sigs, clusters)]
+        assert ids.tolist() == expected
+        assert batched.n_items == sequential.n_items == 21
+        assert np.array_equal(batched.assignments, sequential.assignments)
+        assert np.array_equal(batched.band_keys, sequential.band_keys)
+        for item in range(21):
+            assert np.array_equal(
+                batched.candidate_items(item), sequential.candidate_items(item)
+            )
+        probe = self._signatures(5, 16, seed=99)
+        for sig in probe:
+            assert np.array_equal(
+                batched.candidate_clusters_for_signature(sig),
+                sequential.candidate_clusters_for_signature(sig),
+            )
+
+    @pytest.mark.parametrize("sharded", [False, True])
+    def test_precomputed_band_keys_are_equivalent(self, sharded):
+        from repro.lsh.bands import compute_band_keys
+
+        with_keys, without = self._fresh_pair(sharded)
+        new_sigs = self._signatures(6, 16, seed=42)
+        clusters = np.array([0, 1, 2, 3, 0, 1])
+        keys = compute_band_keys(new_sigs, 8, 2)
+        with_keys.insert_batch(new_sigs, clusters, band_keys=keys)
+        without.insert_batch(new_sigs, clusters)
+        assert np.array_equal(with_keys.band_keys, without.band_keys)
+        assert np.array_equal(with_keys.assignments, without.assignments)
+
+    def test_empty_batch_is_a_noop(self):
+        index, _ = self._fresh_pair(False)
+        ids = index.insert_batch(
+            np.empty((0, 16), dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert ids.shape == (0,)
+        assert index.n_items == 12
+
+    def test_rejects_precomputed_neighbours(self):
+        index = build_index(precompute=True)
+        sigs = self._signatures(2, 16)
+        with pytest.raises(ConfigurationError):
+            index.insert_batch(sigs, np.array([0, 1]))
+
+    def test_rejects_frozen_index(self):
+        index = build_index(precompute=False)
+        index.freeze()
+        sigs = self._signatures(2, 16)
+        with pytest.raises(ConfigurationError):
+            index.insert_batch(sigs, np.array([0, 1]))
+
+    def test_validates_shapes(self):
+        index = build_index(precompute=False)
+        sigs = self._signatures(3, 16)
+        with pytest.raises(DataValidationError):
+            index.insert_batch(sigs, np.array([0, 1]))  # length mismatch
+        with pytest.raises(DataValidationError):
+            index.insert_batch(sigs[0], np.array([0]))  # 1-D signatures
+        with pytest.raises(DataValidationError):
+            index.insert_batch(
+                sigs, np.array([0, 1, 2]), band_keys=np.zeros((3, 5), dtype=np.uint64)
+            )  # wrong band count
+
+    def test_growth_stays_amortised_over_many_batches(self):
+        index = build_index(precompute=False)
+        for chunk in range(10):
+            sigs = self._signatures(7, 16, seed=chunk)
+            index.insert_batch(sigs, np.arange(7) % 4)
+        assert index.n_items == 5 + 70
+        assert len(index._keys_buf) >= index.n_items
