@@ -28,6 +28,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import RESULTS_DIR
+from repro.obs import capture_metrics
 from repro.core.mh_kmodes import MHKModes
 from repro.core.shortlist import ShortlistAccumulator, apply_fallback
 from repro.data.datgen import RuleBasedGenerator
@@ -99,9 +100,10 @@ def test_vectorised_pass_speedup(fitted):
         return out, moves, total / n
 
     per_item_s, (ref_labels, ref_moves, ref_mean) = _best_of(REPEATS, per_item_pass)
-    vectorised_s, (vec_labels, vec_moves, vec_mean) = _best_of(
-        REPEATS, vectorised_pass
-    )
+    with capture_metrics() as pass_metrics:
+        vectorised_s, (vec_labels, vec_moves, vec_mean) = _best_of(
+            REPEATS, vectorised_pass
+        )
     speedup = per_item_s / vectorised_s
 
     # -- batched predict vs the per-item prediction loop ----------------
@@ -153,6 +155,9 @@ def test_vectorised_pass_speedup(fitted):
             "speedup": round(predict_speedup, 2),
             "identical_labels": bool(np.array_equal(predict_ref, predict_got)),
         },
+        # registry view of the vectorised passes: the traced
+        # fit.assignment_chunk kernel's span counters (repro.obs)
+        "metrics": pass_metrics.snapshot(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_hotpass.json").write_text(

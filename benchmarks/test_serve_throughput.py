@@ -17,9 +17,12 @@ disk, then a stream of 10 × 2 000-row predict requests is answered by
 
 Labels must be bit-identical along every path (asserted everywhere);
 items/sec land in machine-readable
-``benchmarks/results/BENCH_serve.json``.  The wall-clock acceptance —
-the process-backend server beats single-process
-``ClusterModel.predict`` on both the cold and the warm stream — is
+``benchmarks/results/BENCH_serve.json``, together with a ``metrics``
+section: the merged registry snapshot of a metered serial run and the
+measured overhead of ``ServeSpec.emit_metrics`` (on vs off on the same
+stream).  The wall-clock acceptances — the process-backend server
+beats single-process ``ClusterModel.predict`` on both the cold and the
+warm stream, and request metrics cost <5% of serial throughput — are
 local-only (shared CI runners are too noisy to gate on timing).
 """
 
@@ -162,6 +165,33 @@ def test_serve_throughput(saved_model):
         "thread_vs_warm_single": round(warm_s / server_streams["thread x2"], 2),
     }
 
+    # -- metrics overhead: the same serial stream with and without the
+    # request registry (ServeSpec.emit_metrics).  The registry view of
+    # the metered run lands in the record so the bench artifact carries
+    # the observability counters alongside the throughput numbers.
+    metered_spec = ServeSpec(backend="serial", chunk_items=2048, max_batch=N_ITEMS)
+    with ModelServer.from_path(path, spec=metered_spec) as metered:
+        metered.predict(requests[0])  # warm before timing
+        metered_s, metered_labels = _best_stream(metered.predict, requests)
+        metrics_snapshot = metered.metrics_snapshot()
+    with ModelServer.from_path(
+        path, spec=metered_spec.replace(emit_metrics=False)
+    ) as bare:
+        bare.predict(requests[0])
+        bare_s, bare_labels = _best_stream(bare.predict, requests)
+    for labels in (metered_labels, bare_labels):
+        for got, expected in zip(labels, reference):
+            assert np.array_equal(got, expected)
+    overhead_pct = (metered_s - bare_s) / bare_s * 100.0
+    record["metrics"] = {
+        "overhead": {
+            "metrics_on_s": round(metered_s, 4),
+            "metrics_off_s": round(bare_s, 4),
+            "overhead_pct": round(overhead_pct, 2),
+        },
+        "registry": metrics_snapshot,
+    }
+
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_serve.json").write_text(
         json.dumps(record, indent=2) + "\n", encoding="utf-8"
@@ -179,4 +209,9 @@ def test_serve_throughput(saved_model):
     assert process_s < warm_s, (
         f"process server stream {process_s:.3f}s did not beat the warm "
         f"single-process baseline {warm_s:.3f}s"
+    )
+    assert overhead_pct < 5.0, (
+        f"request metrics cost {overhead_pct:.2f}% of serial serving "
+        f"throughput (metrics on {metered_s:.3f}s vs off {bare_s:.3f}s); "
+        f"the observability budget is <5%"
     )

@@ -49,6 +49,8 @@ Package map — each subpackage is documented in its own ``__init__``:
 * :mod:`repro.metrics` — purity, NMI, ARI, Jaccard
 * :mod:`repro.experiments` — configs/runner/reports for every paper figure
 * :mod:`repro.instrumentation` — per-iteration statistics
+* :mod:`repro.obs` — metrics registry, tracing spans, JSON trace
+  events and the ``GET /metrics`` Prometheus surface
 """
 
 from repro.api import (

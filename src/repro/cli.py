@@ -29,6 +29,13 @@ Six subcommands mirror the library's workflow:
   the paper-style tables (``--backend``/``--jobs`` apply to the MH
   variants);
 * ``tables`` — print the analytic Tables I and II.
+
+``cluster``, ``extend`` and ``serve`` share two observability flags:
+``--trace`` streams JSON span events to stderr
+(:func:`repro.obs.enable_tracing`) and ``--emit-metrics PATH`` writes
+a :class:`~repro.obs.MetricsRegistry` snapshot as JSON when the
+command finishes (``-`` for stdout).  ``serve --no-metrics`` disables
+the per-request registry (``GET /metrics`` then answers 404).
 """
 
 from __future__ import annotations
@@ -119,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persist the fitted model as PATH.npz + PATH.json",
     )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="emit JSON span/trace events to stderr (one object per line)",
+    )
+    run.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSON metrics-registry snapshot to PATH when the "
+            "command finishes ('-' for stdout)"
+        ),
+    )
 
     ext = sub.add_parser(
         "extend", help="stream a saved dataset into a bootstrapped model"
@@ -161,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for parallel extend backends (default: one per CPU)",
     )
+    ext.add_argument(
+        "--trace",
+        action="store_true",
+        help="emit JSON span/trace events to stderr (one object per line)",
+    )
+    ext.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSON metrics-registry snapshot to PATH when the "
+            "command finishes ('-' for stdout)"
+        ),
+    )
 
     srv = sub.add_parser("serve", help="serve a saved model")
     srv.add_argument("model", help="saved model path (.npz + .json sidecar)")
@@ -194,6 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "accept {\"op\": \"extend\"} streaming-ingest requests (the "
             "index absorbs the rows; serial/thread backends only)"
+        ),
+    )
+    srv.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help=(
+            "disable the serving metrics registry (GET /metrics answers "
+            "404; /health drops the latency percentiles)"
+        ),
+    )
+    srv.add_argument(
+        "--trace",
+        action="store_true",
+        help="emit JSON span/trace events to stderr (one object per line)",
+    )
+    srv.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSON metrics-registry snapshot to PATH when the "
+            "command finishes ('-' for stdout)"
         ),
     )
     srv.add_argument(
@@ -331,12 +388,45 @@ def _resolve_cluster_specs(args: argparse.Namespace):
     )
 
 
+def _enable_observability(args: argparse.Namespace) -> None:
+    """Honour ``--trace`` before the command body starts timing."""
+    if getattr(args, "trace", False):
+        from repro.obs import enable_tracing
+
+        enable_tracing()
+
+
+def _write_metrics_snapshot(
+    args: argparse.Namespace, snapshot: dict | None = None
+) -> None:
+    """Honour ``--emit-metrics PATH`` after the command body finishes.
+
+    ``snapshot`` lets ``serve`` pass its per-server registry view;
+    everything else dumps the process-default registry.
+    """
+    path = getattr(args, "emit_metrics", None)
+    if path is None:
+        return
+    if snapshot is None:
+        from repro.obs import metrics
+
+        snapshot = metrics().snapshot()
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        Path(path).write_text(text + "\n", encoding="utf-8")
+        print(f"metrics   : wrote snapshot to {path}", file=sys.stderr)
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.core import MHKModes
     from repro.data import load_dataset, save_model
     from repro.kmodes import KModes
     from repro.metrics import cluster_purity
+    from repro.obs import format_phase_timings
 
+    _enable_observability(args)
     dataset = load_dataset(args.dataset)
     lsh, engine, train = _resolve_cluster_specs(args)
     if args.algorithm == "mh-kmodes" and engine.backend == "serial" and engine.n_jobs:
@@ -376,11 +466,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"iterations: {model.n_iter_} (converged={model.converged_})")
     print(f"setup     : {model.stats_.setup_s:.3f}s")
     if model.stats_.phase_s:
-        phases = " ".join(
-            f"{name}={seconds:.3f}s"
-            for name, seconds in model.stats_.phase_s.items()
-        )
-        print(f"phases    : {phases}")
+        print(f"phases    : {format_phase_timings(model.stats_.phase_s)}")
     print(f"total     : {model.stats_.total_time_s:.3f}s")
     print(f"cost      : {model.cost_:.0f}")
     print(f"purity    : {cluster_purity(model.labels_, dataset.labels):.4f}")
@@ -397,6 +483,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.save is not None:
         saved = save_model(model, args.save)
         print(f"saved     : {saved} (+ {saved.with_suffix('.json').name})")
+    _write_metrics_snapshot(args)
     return 0
 
 
@@ -406,7 +493,9 @@ def _cmd_extend(args: argparse.Namespace) -> int:
     from repro.data import load_dataset
     from repro.instrumentation import Timer
     from repro.metrics import cluster_purity
+    from repro.obs import format_phase_timings
 
+    _enable_observability(args)
     dataset = load_dataset(args.dataset)
     n_items = dataset.X.shape[0]
     split = args.bootstrap if args.bootstrap is not None else n_items // 2
@@ -460,10 +549,7 @@ def _cmd_extend(args: argparse.Namespace) -> int:
             seconds = chunk_timer.elapsed_s
             streamed += stop - start
             streamed_s += seconds
-            phases = " ".join(
-                f"{name}={value:.3f}s"
-                for name, value in estimator.extend_stats_.items()
-            )
+            phases = format_phase_timings(estimator.extend_stats_)
             print(
                 f"  chunk {start:>7}..{stop:<7} {stop - start:6d} items "
                 f"{seconds:7.3f}s {(stop - start) / seconds:9.0f} items/s  "
@@ -478,6 +564,7 @@ def _cmd_extend(args: argparse.Namespace) -> int:
             streamed_labels = np.concatenate(labels_parts)
             purity = cluster_purity(streamed_labels, dataset.labels[split:])
             print(f"purity    : {purity:.4f} (streamed items)")
+    _write_metrics_snapshot(args)
     return 0
 
 
@@ -486,6 +573,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.data.io import load_cluster_model, load_serve_spec
     from repro.serve import ModelServer, make_http_server, serve_ndjson
 
+    _enable_observability(args)
     model = load_cluster_model(args.model)
     spec = load_serve_spec(args.model) or ServeSpec()
     overrides = {
@@ -500,6 +588,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }
     if args.allow_extend:
         overrides["allow_extend"] = True
+    if args.no_metrics:
+        overrides["emit_metrics"] = False
     spec = spec.replace(**overrides)
     with ModelServer(model, spec) as server:
         if args.http is not None:
@@ -520,6 +610,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"serving {model!r} on stdin/stdout (ndjson)", file=sys.stderr, flush=True)
             answered = serve_ndjson(server, sys.stdin, sys.stdout)
             print(f"served {answered} request(s)", file=sys.stderr)
+        _write_metrics_snapshot(args, server.metrics_snapshot())
     return 0
 
 

@@ -65,6 +65,7 @@ from repro.exceptions import (
     check_fitted,
 )
 from repro.instrumentation import RunStats, Timer
+from repro.obs import PhaseSpans
 from repro.lsh.index import ClusteredLSHIndex
 
 __all__ = ["BaseLSHAcceleratedClustering"]
@@ -427,25 +428,29 @@ class BaseLSHAcceleratedClustering(SpecAttributeSurface, EstimatorProtocol, abc.
             # --- setup: one exhaustive pass + one indexing pass (paper's
             # "initial extra step", charged to total time, not
             # per-iteration).  Pool spin-up is charged to setup too.
+            # Every phase reports through the span API: the same Timer
+            # readings the old code published in phase_s, now also in
+            # the metrics registry (span "fit.<phase>") and the trace
+            # stream.  Parallel sessions report their own
+            # "fit.session_open" span at open.
+            phases = PhaseSpans("fit")
             with Timer() as setup_timer:
-                with Timer() as exhaustive_timer:
+                with phases.span("exhaustive_assign"):
                     labels, _ = session.exhaustive_assign(
                         centroids, np.full(n, -1, dtype=np.int64)
                     )
-                with Timer() as signature_timer:
+                with phases.span("signatures"):
                     signatures = session.compute_signatures()
-                with Timer() as index_timer:
+                with phases.span("index_build"):
                     index = session.build_index(signatures, labels)
                 centroids = self._update_centroids(X, labels, centroids, rng)
             stats.setup_s = setup_timer.elapsed_s + session.open_s
             stats.phase_s["session_open"] = session.open_s
-            stats.phase_s["exhaustive_assign"] = exhaustive_timer.elapsed_s
-            stats.phase_s["signatures"] = signature_timer.elapsed_s
-            stats.phase_s["index_build"] = index_timer.elapsed_s
+            stats.phase_s.update(phases.totals)
 
             for _ in range(self.max_iter):
                 accumulator = ShortlistAccumulator()
-                with Timer() as timer:
+                with phases.span("iterations") as iteration_span:
                     labels, moves = session.run_pass(centroids, labels, accumulator)
                     centroids = self._update_centroids(X, labels, centroids, rng)
                 cost = (
@@ -454,7 +459,7 @@ class BaseLSHAcceleratedClustering(SpecAttributeSurface, EstimatorProtocol, abc.
                     else float("nan")
                 )
                 stats.record(
-                    duration_s=timer.elapsed_s,
+                    duration_s=iteration_span.wall_s,
                     moves=moves,
                     cost=cost,
                     mean_shortlist=accumulator.mean(),

@@ -63,11 +63,16 @@ from repro.exceptions import (
     DataValidationError,
     check_fitted,
 )
-from repro.instrumentation import Timer
 from repro.lsh.bands import compute_band_keys
 from repro.lsh.minhash import MinHasher
+from repro.obs import PhaseSpans, traced
 
 __all__ = ["ClusterModeTracker", "StreamingMHKModes", "DENSE_CATEGORY_LIMIT"]
+
+#: The batch-ingest pipeline phases, in pipeline order.  Both
+#: ``extend_stats_`` (last call) and ``extend_stats_total_``
+#: (lifetime) carry exactly these keys.
+_EXTEND_PHASES = ("signatures", "shortlist", "walk", "update", "refresh")
 
 #: Largest per-attribute category cardinality the dense count tensor
 #: keeps; beyond it the tracker falls back to dict-of-dicts storage.
@@ -450,6 +455,7 @@ class ClusterModeTracker:
 # ----------------------------------------------------------------------
 
 
+@traced("extend.signature_chunk")
 def _stream_signature_chunk(static, dynamic, span: tuple[int, int]) -> np.ndarray:
     """Kernel: MinHash one row span of the (possibly shared) arrivals.
 
@@ -611,6 +617,9 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
         self.n_seen_: int = 0
         self.n_fallbacks_: int = 0
         self.extend_stats_: dict[str, float] = {}
+        self._extend_totals: dict[str, float] = dict.fromkeys(
+            _EXTEND_PHASES, 0.0
+        )
 
     # legacy read surface (bands/rows/seed/backend/...) comes from
     # SpecAttributeSurface; update_refs stays the raw spec value here
@@ -653,6 +662,7 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
             self._stream_pool = PersistentPool(
                 backend,
                 static=(self._hasher, self._fitted_domain, self.absent_code),
+                metrics=True,  # ship process-worker kernel spans home
             )
         return self._stream_pool
 
@@ -691,6 +701,8 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
         self.n_seen_ = len(X)
         self._since_refresh = 0
         self.n_fallbacks_ = 0
+        self.extend_stats_ = {}
+        self._extend_totals = dict.fromkeys(_EXTEND_PHASES, 0.0)
         return self
 
     # ------------------------------------------------------------------
@@ -759,7 +771,11 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
         any backend.
 
         Per-phase wall-clock timings of the call land in
-        :attr:`extend_stats_`.
+        :attr:`extend_stats_` (the *last* call's snapshot — it is reset
+        at each entry); lifetime cumulative totals accumulate in
+        :attr:`extend_stats_total_`.  Each phase is also emitted as an
+        ``"extend.<phase>"`` span (see :mod:`repro.obs`), so the same
+        numbers reach the metrics registry and the trace stream.
         """
         check_fitted(self)
         assert self._modes is not None
@@ -771,14 +787,11 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
                 f"items must have {self._modes.shape[1]} attributes, "
                 f"got {X.shape[1]}"
             )
-        stats = {
-            "signatures": 0.0,
-            "shortlist": 0.0,
-            "walk": 0.0,
-            "update": 0.0,
-            "refresh": 0.0,
-        }
+        stats = dict.fromkeys(_EXTEND_PHASES, 0.0)
         self.extend_stats_ = stats
+        phases = PhaseSpans(
+            "extend", totals=stats, on_phase=self._accumulate_extend_total
+        )
         n = X.shape[0]
         if n == 0:
             return np.empty(0, dtype=np.int64)
@@ -787,9 +800,8 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
                 f"X must hold integer category codes, got dtype {X.dtype}"
             )
         X = np.ascontiguousarray(X, dtype=np.int64)
-        with Timer() as timer:
+        with phases.span("signatures", rows=n):
             signatures = self._batch_signatures(X)
-        stats["signatures"] += timer.elapsed_s
 
         labels = np.empty(n, dtype=np.int64)
         position = 0
@@ -801,10 +813,29 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
             )
             window = slice(position, position + segment)
             labels[window] = self._extend_segment(
-                X[window], signatures[window], stats
+                X[window], signatures[window], phases
             )
             position += segment
         return labels
+
+    def _accumulate_extend_total(self, name: str, seconds: float) -> None:
+        self._extend_totals[name] = (
+            self._extend_totals.get(name, 0.0) + seconds
+        )
+
+    @property
+    def extend_stats_total_(self) -> dict[str, float]:
+        """Cumulative per-phase :meth:`extend` seconds since bootstrap.
+
+        :attr:`extend_stats_` is overwritten by every :meth:`extend`
+        call (it snapshots the last call only); this dict keeps the
+        running totals across all calls — the number a long-running
+        ingest loop wants.  Keys are exactly the pipeline phases
+        (``signatures``/``shortlist``/``walk``/``update``/``refresh``),
+        present from construction with 0.0 values.  Reset by
+        :meth:`bootstrap`.
+        """
+        return dict(self._extend_totals)
 
     def _batch_signatures(self, X: np.ndarray) -> np.ndarray:
         """Signatures of a whole arrival batch (pool-chunked if parallel)."""
@@ -835,7 +866,7 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
             )
 
     def _extend_segment(
-        self, X_seg: np.ndarray, signatures: np.ndarray, stats: dict
+        self, X_seg: np.ndarray, signatures: np.ndarray, phases: PhaseSpans
     ) -> np.ndarray:
         """Ingest one segment exactly as the push loop would.
 
@@ -854,7 +885,7 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
         assert modes is not None
         count = len(X_seg)
 
-        with Timer() as timer:
+        with phases.span("shortlist", rows=count):
             keys = compute_band_keys(signatures, index.bands, index.rows)
             indptr, base_clusters = index.shortlists_for_signatures(signatures)
             lengths = np.diff(indptr)
@@ -867,25 +898,21 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
                 )
                 base_label[filled] = best_l
                 base_dist[filled] = best_d
-        stats["shortlist"] += timer.elapsed_s
 
-        with Timer() as timer:
+        with phases.span("walk", rows=count):
             labels, fallbacks = self._resolve_segment_labels(
                 X_seg, keys, lengths, base_label, base_dist, modes, model
             )
-        stats["walk"] += timer.elapsed_s
 
-        with Timer() as timer:
+        with phases.span("update", rows=count):
             self._tracker.add_batch(X_seg, labels)
             index.insert_batch(signatures, labels, band_keys=keys)
-        stats["update"] += timer.elapsed_s
         self.n_seen_ += count
         self.n_fallbacks_ += fallbacks
         self._since_refresh += count
         if self._since_refresh >= self.refresh_interval:
-            with Timer() as timer:
+            with phases.span("refresh"):
                 self.refresh_modes()
-            stats["refresh"] += timer.elapsed_s
         return labels
 
     def _resolve_segment_labels(

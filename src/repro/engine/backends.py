@@ -87,6 +87,22 @@ class BackendSession(abc.ABC):
     def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
         """Apply ``fn(static, dynamic, task)`` to every task, in order."""
 
+    def run_metered(
+        self, fn: Kernel, tasks: list, dynamic: Any = None
+    ) -> tuple[list, list[dict]]:
+        """Like :meth:`run`, but also return worker metric snapshots.
+
+        Same-address-space sessions (serial, thread) record kernel-side
+        spans straight into the caller's process-local default registry
+        (:func:`repro.obs.metrics`), so there is nothing to ship: the
+        base implementation returns ``(results, [])``.  The process
+        session overrides this to capture each kernel call's registry
+        delta inside the worker and return one snapshot per task for
+        the caller to :meth:`~repro.obs.MetricsRegistry.merge` — that
+        is how process-pool worker time is attributed, not lost.
+        """
+        return self.run(fn, tasks, dynamic), []
+
     def close(self) -> None:
         """Release the session's workers (idempotent)."""
 
@@ -226,6 +242,23 @@ def _invoke_in_process(call: tuple) -> Any:
     return fn(_PROCESS_STATIC, dynamic, task)
 
 
+def _invoke_in_process_metered(call: tuple) -> tuple[Any, dict]:
+    """Run one kernel call and capture its metric delta.
+
+    The capture swaps in a fresh default registry for exactly this
+    call, so fork-inherited parent counters never leak into the
+    snapshot — the returned dict is precisely what this kernel call
+    recorded.  Worker processes run tasks one at a time, so the swap
+    is race-free there.
+    """
+    from repro.obs.registry import capture_metrics
+
+    fn, dynamic, task = call
+    with capture_metrics() as captured:
+        result = fn(_PROCESS_STATIC, dynamic, task)
+    return result, captured.snapshot()
+
+
 class _ProcessSession(BackendSession):
     def __init__(self, static: Any, n_jobs: int, start_method: str | None = None):
         # fork keeps ``static`` out of the pickle pipe entirely
@@ -247,6 +280,16 @@ class _ProcessSession(BackendSession):
         return self._pool.map(
             _invoke_in_process, [(fn, dynamic, task) for task in tasks]
         )
+
+    def run_metered(
+        self, fn: Kernel, tasks: list, dynamic: Any = None
+    ) -> tuple[list, list[dict]]:
+        assert self._pool is not None, "session is closed"
+        pairs = self._pool.map(
+            _invoke_in_process_metered,
+            [(fn, dynamic, task) for task in tasks],
+        )
+        return [result for result, _ in pairs], [snap for _, snap in pairs]
 
     def close(self) -> None:
         if self._pool is not None:

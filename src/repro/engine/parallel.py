@@ -48,8 +48,9 @@ from repro.engine.pool import PersistentPool
 from repro.engine.shared import SharedArray, resolve_array
 from repro.engine.sharded_index import ShardedClusteredLSHIndex, _build_shard_tables
 from repro.exceptions import ConfigurationError
-from repro.instrumentation import Timer
 from repro.lsh.bands import compute_band_keys
+from repro.obs import span as trace_span
+from repro.obs import traced
 from repro.lsh.index import ClusteredLSHIndex
 
 __all__ = ["ClusteringEngine", "backend_from_spec", "resolve_engine"]
@@ -69,6 +70,7 @@ AnyIndex = ClusteredLSHIndex | ShardedClusteredLSHIndex
 # ----------------------------------------------------------------------
 
 
+@traced("fit.exhaustive_chunk")
 def _exhaustive_chunk(
     static: tuple, dynamic: tuple, span: tuple[int, int]
 ) -> np.ndarray:
@@ -83,6 +85,7 @@ def _exhaustive_chunk(
     return chunk_labels
 
 
+@traced("fit.signature_chunk")
 def _signature_chunk(static: tuple, dynamic: None, span: tuple[int, int]) -> np.ndarray:
     """Signatures of one row span (encoding state already frozen)."""
     model, x_ref = static
@@ -165,6 +168,7 @@ def best_shortlisted_centroids(
     return best_label, best_distance
 
 
+@traced("fit.assignment_chunk")
 def _assignment_chunk(
     static: tuple, dynamic: tuple, span: tuple[int, int]
 ) -> tuple[np.ndarray, int, int, int]:
@@ -366,11 +370,16 @@ class _ParallelFitSession:
             # the session fails.
             x_ref = backend.share_array(X)
             pre_handles = (x_ref,)
-        with Timer() as open_timer:
+        # span-reported pool spin-up: the same Timer reading the old
+        # code published, now also visible in the metrics registry.
+        with trace_span("fit.session_open", backend=backend.name) as open_span:
             self._pool = PersistentPool(
-                backend, (model, x_ref), handles=pre_handles
+                backend,
+                (model, x_ref),
+                handles=pre_handles,
+                metrics=True,  # ship process-worker kernel spans home
             )
-        self.open_s = open_timer.elapsed_s
+        self.open_s = open_span.wall_s
         self._index: AnyIndex | None = None
         self._csr_refs: tuple[SharedArray, SharedArray, SharedArray] | None = None
 

@@ -71,6 +71,14 @@ class PersistentPool:
         segments whose lifetime this pool adopts: released at
         :meth:`close`, or immediately if opening the session fails
         (no session means no close would ever run).
+    metrics:
+        Where kernel-side metrics recorded in *process* workers merge
+        after each dispatch: a :class:`~repro.obs.MetricsRegistry`,
+        ``True`` for the caller's process-local default registry
+        (resolved per dispatch), or ``None``/``False`` to skip the
+        snapshot shipping entirely.  Serial and thread workers share
+        the caller's address space, so their kernels always reach the
+        default registry directly regardless of this setting.
     """
 
     def __init__(
@@ -78,8 +86,11 @@ class PersistentPool:
         backend: ExecutionBackend,
         static: Any = None,
         handles: tuple[SharedArray, ...] = (),
+        metrics: Any = None,
     ):
         self.backend = backend
+        # note: an *empty* registry is falsy (len 0) but still a target
+        self._metrics = None if metrics is None or metrics is False else metrics
         self._handles: list[SharedArray] = list(handles)
         self._handle_lock = threading.Lock()
         try:
@@ -150,7 +161,19 @@ class PersistentPool:
         the pool: subsequent :meth:`run` calls work normally.
         """
         self._check_open()
-        return self._session.run(fn, tasks, dynamic)
+        if self._metrics is None:
+            return self._session.run(fn, tasks, dynamic)
+        results, snapshots = self._session.run_metered(fn, tasks, dynamic)
+        if snapshots:
+            if self._metrics is True:
+                from repro.obs.registry import metrics as default_registry
+
+                target = default_registry()
+            else:
+                target = self._metrics
+            for snapshot in snapshots:
+                target.merge(snapshot)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

@@ -1,0 +1,64 @@
+"""Opt-in structured JSON event logging (one object per line).
+
+Off by default and free when off: :func:`emit_event` is a single
+``None`` check until :func:`enable_tracing` installs a sink.  When on,
+every event renders as one JSON object per line — machine-diffable by
+benches and CI — with an ``event`` kind, a wall-clock ``ts``, and the
+emitter's fields.  Spans (:class:`repro.obs.span`) emit ``span``
+events; anything else may call :func:`emit_event` directly.
+
+The CLI flag ``--trace`` routes events to stderr so they never
+interleave with NDJSON responses or result tables on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO
+
+__all__ = [
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "emit_event",
+]
+
+_LOCK = threading.Lock()
+_STREAM: IO[str] | None = None
+
+
+def enable_tracing(stream: IO[str] | None = None) -> None:
+    """Route JSON events to ``stream`` (default: ``sys.stderr``)."""
+    global _STREAM
+    with _LOCK:
+        _STREAM = stream if stream is not None else sys.stderr
+
+
+def disable_tracing() -> None:
+    """Stop emitting events (the stream is not closed — callers own it)."""
+    global _STREAM
+    with _LOCK:
+        _STREAM = None
+
+
+def tracing_enabled() -> bool:
+    return _STREAM is not None
+
+
+def emit_event(kind: str, **fields) -> None:
+    """Write one ``{"event": kind, "ts": ..., **fields}`` JSON line.
+
+    A no-op unless tracing is enabled.  Serialisation falls back to
+    ``str`` for exotic values, and the write happens under one lock so
+    concurrent emitters never interleave partial lines.
+    """
+    with _LOCK:
+        stream = _STREAM
+        if stream is None:
+            return
+        payload = {"event": kind, "ts": time.time(), **fields}
+        stream.write(json.dumps(payload, default=str) + "\n")
+        stream.flush()

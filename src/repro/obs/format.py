@@ -1,0 +1,22 @@
+"""Human-facing rendering of observability data.
+
+The CLI used to carry two copies of the same phase-timing formatter
+(the ``cluster`` and ``extend`` subcommands); this module is the one
+shared implementation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_phase_timings"]
+
+
+def format_phase_timings(phase_s: dict[str, float]) -> str:
+    """``{"signatures": 0.0123, ...}`` → ``"signatures=0.012s ..."``.
+
+    One space-separated ``name=seconds`` token per phase, in the
+    dict's insertion order (which both ``RunStats.phase_s`` and
+    ``extend_stats_`` keep meaningful: pipeline order).
+    """
+    return " ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in phase_s.items()
+    )

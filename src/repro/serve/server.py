@@ -53,10 +53,18 @@ from repro.engine.chunking import chunk_ranges
 from repro.engine.pool import PersistentPool
 from repro.engine.shared import SharedArray, resolve_array
 from repro.exceptions import ConfigurationError, DataValidationError
+from repro.instrumentation import Timer
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    metrics as process_metrics,
+    traced,
+)
 
 __all__ = ["ModelServer"]
 
 
+@traced("serve.predict_chunk")
 def _predict_chunk(static, dynamic, span: tuple[int, int]) -> np.ndarray:
     """Kernel: predict one row span of the (possibly shared) matrix.
 
@@ -70,6 +78,7 @@ def _predict_chunk(static, dynamic, span: tuple[int, int]) -> np.ndarray:
     return static.predict(X[start:stop])
 
 
+@traced("serve.extend_chunk")
 def _extend_chunk(
     static, dynamic, span: tuple[int, int]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -158,9 +167,93 @@ class ModelServer:
         self._extended = 0
         self._closed = False
         self._x_buffer: SharedArray | None = None
+        # Per-server metrics (ServeSpec.emit_metrics): request counters,
+        # latency/batch histograms and the in-flight gauge live in a
+        # private registry so several servers in one process never mix;
+        # process pools additionally merge their workers' kernel spans
+        # here (the snapshot/merge protocol in repro.obs).
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if spec.emit_metrics else None
+        )
+        if self.metrics is not None:
+            self._init_instruments()
         self._pool: PersistentPool | None = None
         if self._backend.is_parallel:
-            self._pool = PersistentPool(self._backend, static=self._estimator)
+            self._pool = PersistentPool(
+                self._backend, static=self._estimator, metrics=self.metrics
+            )
+
+    def _init_instruments(self) -> None:
+        """Register the request metric families up front.
+
+        Eager registration means ``GET /metrics`` shows every family —
+        zero-valued — before the first request, so scrapers see a
+        stable schema.
+        """
+        registry = self.metrics
+        assert registry is not None
+        registry.gauge(
+            "repro_requests_in_flight",
+            help="Requests currently being answered.",
+        )
+        for op in ("predict", "extend"):
+            for status in ("ok", "error"):
+                registry.counter(
+                    "repro_requests_total",
+                    help="Requests answered, by op and status.",
+                    labels={"op": op, "status": status},
+                )
+            registry.histogram(
+                "repro_request_latency_seconds",
+                help="Wall-clock seconds per request, by op.",
+                labels={"op": op},
+            )
+            registry.histogram(
+                "repro_request_batch_rows",
+                help="Rows per request batch, by op.",
+                labels={"op": op},
+                buckets=DEFAULT_SIZE_BUCKETS,
+            )
+
+    @contextlib.contextmanager
+    def _observe_request(self, op: str):
+        """Record one request into the registry (no-op when disabled).
+
+        Yields a mutable holder; the request path sets ``holder["rows"]``
+        once the batch size is known.  Success records the latency and
+        batch-size histograms plus the ``status="ok"`` counter; any
+        exception records ``status="error"`` and re-raises.
+        """
+        holder = {"rows": 0}
+        registry = self.metrics
+        if registry is None:
+            yield holder
+            return
+        in_flight = registry.gauge("repro_requests_in_flight")
+        in_flight.inc()
+        timer = Timer()
+        try:
+            with timer:
+                yield holder
+        except BaseException:
+            registry.counter(
+                "repro_requests_total", labels={"op": op, "status": "error"}
+            ).inc()
+            raise
+        else:
+            registry.counter(
+                "repro_requests_total", labels={"op": op, "status": "ok"}
+            ).inc()
+            registry.histogram(
+                "repro_request_latency_seconds", labels={"op": op}
+            ).observe(timer.elapsed_s)
+            registry.histogram(
+                "repro_request_batch_rows",
+                labels={"op": op},
+                buckets=DEFAULT_SIZE_BUCKETS,
+            ).observe(float(holder["rows"]))
+        finally:
+            in_flight.dec()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -237,9 +330,12 @@ class ModelServer:
         A request that fails validation raises without disturbing the
         pool — the next request proceeds normally.
         """
-        X = self._prepare(X)
-        with self._mutation_guard():
-            return self._predict_validated(X)
+        with self._observe_request("predict") as observed:
+            X = self._prepare(X)
+            with self._mutation_guard():
+                labels = self._predict_validated(X)
+            observed["rows"] = int(labels.shape[0])
+            return labels
 
     def extend(self, X: np.ndarray) -> np.ndarray:
         """Assign a batch *and* absorb it into the serving index.
@@ -262,29 +358,31 @@ class ModelServer:
                 "this ModelServer is read-only; serve with "
                 "ServeSpec(allow_extend=True) to accept extend requests"
             )
-        X = self._prepare(X)
-        n = X.shape[0]
-        with self._mutation_guard():
-            if n == 0:
-                labels = np.empty(0, dtype=np.int64)
-            elif self._pool is None:
-                signatures = self._estimator._signatures(X)
-                labels = self._estimator._predict_from_signatures(
-                    X, signatures
-                )
-            else:
-                results = self._pool.run(
-                    _extend_chunk, self._spans(n), dynamic=X
-                )
-                labels = np.concatenate([chunk for chunk, _ in results])
-                signatures = np.concatenate([sigs for _, sigs in results])
-            if n:
-                self._estimator._index.insert_batch(signatures, labels)
-        with self._stats_lock:
-            self._requests += 1
-            self._items += n
-            self._extended += n
-        return labels
+        with self._observe_request("extend") as observed:
+            X = self._prepare(X)
+            n = X.shape[0]
+            observed["rows"] = int(n)
+            with self._mutation_guard():
+                if n == 0:
+                    labels = np.empty(0, dtype=np.int64)
+                elif self._pool is None:
+                    signatures = self._estimator._signatures(X)
+                    labels = self._estimator._predict_from_signatures(
+                        X, signatures
+                    )
+                else:
+                    results = self._pool.run(
+                        _extend_chunk, self._spans(n), dynamic=X
+                    )
+                    labels = np.concatenate([chunk for chunk, _ in results])
+                    signatures = np.concatenate([sigs for _, sigs in results])
+                if n:
+                    self._estimator._index.insert_batch(signatures, labels)
+            with self._stats_lock:
+                self._requests += 1
+                self._items += n
+                self._extended += n
+            return labels
 
     def _mutation_guard(self):
         return (
@@ -354,16 +452,106 @@ class ModelServer:
                 "kernel; distance serving is available for LSH-accelerated "
                 "estimators only"
             )
-        X = self._prepare(X)  # validate once; predict and scoring share it
-        with self._mutation_guard():
-            labels = self._predict_validated(X)
-        if len(labels) == 0:
-            return labels, np.empty(0, dtype=np.float64)
-        centroids = np.asarray(self.model.centroids)
-        distances = np.asarray(
-            block_distances(X, centroids[labels][:, None, :]), dtype=np.float64
-        )[:, 0]
-        return labels, distances
+        with self._observe_request("predict") as observed:
+            X = self._prepare(X)  # validate once; predict and scoring share it
+            with self._mutation_guard():
+                labels = self._predict_validated(X)
+            observed["rows"] = int(labels.shape[0])
+            if len(labels) == 0:
+                return labels, np.empty(0, dtype=np.float64)
+            centroids = np.asarray(self.model.centroids)
+            distances = np.asarray(
+                block_distances(X, centroids[labels][:, None, :]),
+                dtype=np.float64,
+            )[:, 0]
+            return labels, distances
+
+    # ------------------------------------------------------------------
+    # observability surface
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The enriched ``GET /health`` payload.
+
+        Always carries liveness, model metadata, serving/pool state and
+        the request totals; when metrics are on, also the predict
+        latency percentiles estimated from the request histogram
+        (``null`` until the first request).
+        """
+        payload = {
+            "status": "closed" if self._closed else "ok",
+            "model": {
+                "repr": repr(self.model),
+                "algorithm": self.model.algorithm,
+                "n_clusters": int(self.model.n_clusters),
+                "n_attributes": int(self.model.n_attributes),
+            },
+            "serving": {
+                "backend": self.spec.backend,
+                "n_jobs": int(self._backend.n_jobs),
+                "allow_extend": self.spec.allow_extend,
+                "pool_open": self._pool is not None and not self._pool.closed,
+                "metrics_enabled": self.metrics is not None,
+            },
+            "requests_served": self.requests_served_,
+            "items_served": self.items_served_,
+            "items_extended": self.items_extended_,
+        }
+        if self.metrics is not None:
+            histogram = self.metrics.histogram(
+                "repro_request_latency_seconds", labels={"op": "predict"}
+            )
+            payload["latency_s"] = (
+                {
+                    "p50": histogram.quantile(0.50),
+                    "p95": histogram.quantile(0.95),
+                    "p99": histogram.quantile(0.99),
+                }
+                if histogram.count
+                else None
+            )
+        return payload
+
+    def stats(self) -> dict:
+        """The ``{"op": "stats"}`` NDJSON payload: totals + snapshot."""
+        return {
+            "requests_served": self.requests_served_,
+            "items_served": self.items_served_,
+            "items_extended": self.items_extended_,
+            "metrics": self.metrics_snapshot(),
+        }
+
+    def metrics_snapshot(self) -> dict | None:
+        """JSON-safe merged registry snapshot (``None`` when disabled).
+
+        Merges the per-server registry (request metrics, plus worker
+        deltas shipped home by process pools) with the process-local
+        default registry (span counters from same-address-space
+        kernels, fit/extend phases, ...) — metric names are disjoint
+        by construction, so the merge is a plain union.
+        """
+        if self.metrics is None:
+            return None
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        merged.merge(process_metrics().snapshot())
+        return merged.snapshot()
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus text exposition.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the
+        server was built with ``ServeSpec(emit_metrics=False)``.
+        """
+        if self.metrics is None:
+            raise ConfigurationError(
+                "metrics are disabled on this server; serve with "
+                "ServeSpec(emit_metrics=True) to expose /metrics"
+            )
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        merged.merge(process_metrics().snapshot())
+        return merged.to_prometheus()
 
     # ------------------------------------------------------------------
     # internals

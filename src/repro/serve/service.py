@@ -8,7 +8,11 @@ Two transports over one request shape, both stdlib-only:
   never kills the stream.
 * **HTTP** (:func:`make_http_server`) — a localhost
   :class:`http.server.ThreadingHTTPServer`: ``POST /predict`` with the
-  same JSON body, ``GET /health`` for liveness.
+  same JSON body, ``GET /health`` for the enriched liveness/status
+  document (model metadata, pool state, request totals, latency
+  percentiles) and ``GET /metrics`` for the Prometheus text exposition
+  of the server's :class:`~repro.obs.MetricsRegistry` (404 when the
+  spec disables metrics).
 
 Request shape::
 
@@ -18,6 +22,8 @@ Request shape::
     {"items": [...], "op": "extend"}   → + {"extended": n}  (streaming
                                          ingest; needs a server with
                                          ServeSpec(allow_extend=True))
+    {"op": "stats"}                    → request totals + a JSON metrics
+                                         snapshot (no items needed)
     {"ping": true}                     → {"ok": true, "model": "..."}
 
 Labels come from :meth:`repro.serve.ModelServer.predict` (or
@@ -78,13 +84,18 @@ def handle_request(server, payload) -> dict:
         )
     if payload.get("ping"):
         return {"ok": True, "model": repr(server.model)}
+    op = payload.get("op", "predict")
+    if op not in ("predict", "extend", "stats"):
+        raise DataValidationError(
+            f"unknown op {op!r}; choose 'predict', 'extend' or 'stats'"
+        )
+    if op == "stats":
+        response = server.stats()
+        if "id" in payload:
+            response["id"] = payload["id"]
+        return response
     if "items" not in payload:
         raise DataValidationError("request object needs an 'items' matrix")
-    op = payload.get("op", "predict")
-    if op not in ("predict", "extend"):
-        raise DataValidationError(
-            f"unknown op {op!r}; choose 'predict' or 'extend'"
-        )
     X = _items_to_matrix(payload["items"], server.model.n_attributes)
     response: dict = {}
     if "id" in payload:
@@ -161,7 +172,7 @@ def serve_ndjson(server, stdin: IO[str], stdout: IO[str]) -> int:
 
 
 class _ServeHandler(BaseHTTPRequestHandler):
-    """``POST /predict`` + ``GET /health`` against the bound server."""
+    """``POST /predict`` + ``GET /health`` + ``GET /metrics``."""
 
     # Set by make_http_server on the handler subclass.
     model_server = None
@@ -175,17 +186,31 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.wfile.write(encoded)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/health":
-            self._reply(404, {"error": f"no such path {self.path!r}"})
+        if self.path == "/health":
+            self._reply(200, self.model_server.health())
             return
-        self._reply(
-            200,
-            {
-                "status": "ok",
-                "model": repr(self.model_server.model),
-                "requests_served": self.model_server.requests_served_,
-            },
-        )
+        if self.path == "/metrics":
+            if self.model_server.metrics is None:
+                self._reply(
+                    404,
+                    {
+                        "error": (
+                            "metrics are disabled on this server "
+                            "(ServeSpec.emit_metrics=False)"
+                        )
+                    },
+                )
+                return
+            body = self.model_server.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._reply(404, {"error": f"no such path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path != "/predict":

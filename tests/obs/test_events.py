@@ -1,0 +1,85 @@
+"""Structured JSON event logging: opt-in, one object per line."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    disable_tracing,
+    emit_event,
+    enable_tracing,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture
+def sink():
+    stream = io.StringIO()
+    enable_tracing(stream)
+    yield stream
+    disable_tracing()
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestToggle:
+    def test_off_by_default_and_emit_is_noop(self):
+        assert not tracing_enabled()
+        emit_event("ignored", x=1)  # must not raise with no sink
+
+    def test_enable_disable(self, sink):
+        assert tracing_enabled()
+        disable_tracing()
+        assert not tracing_enabled()
+        emit_event("dropped")
+        assert sink.getvalue() == ""
+
+
+class TestEmit:
+    def test_one_json_object_per_line(self, sink):
+        emit_event("alpha", value=1)
+        emit_event("beta", value=2)
+        events = _lines(sink)
+        assert [e["event"] for e in events] == ["alpha", "beta"]
+        assert all("ts" in e for e in events)
+        assert events[0]["value"] == 1
+
+    def test_exotic_values_fall_back_to_str(self, sink):
+        emit_event("weird", payload={1, 2}.__class__)  # a type object
+        (event,) = _lines(sink)
+        assert isinstance(event["payload"], str)
+
+
+class TestSpanEvents:
+    def test_span_emits_when_enabled(self, sink):
+        with span("test.traced_span", registry=MetricsRegistry(), rows=5):
+            pass
+        (event,) = _lines(sink)
+        assert event["event"] == "span"
+        assert event["name"] == "test.traced_span"
+        assert event["depth"] == 0
+        assert event["error"] is None
+        assert event["rows"] == 5
+        assert event["wall_s"] >= 0.0
+
+    def test_span_records_error_type(self, sink):
+        with pytest.raises(RuntimeError):
+            with span("test.failing", registry=MetricsRegistry()):
+                raise RuntimeError("nope")
+        (event,) = _lines(sink)
+        assert event["error"] == "RuntimeError"
+
+    def test_span_silent_when_disabled(self):
+        stream = io.StringIO()
+        enable_tracing(stream)
+        disable_tracing()
+        with span("test.silent", registry=MetricsRegistry()):
+            pass
+        assert stream.getvalue() == ""

@@ -1,0 +1,21 @@
+"""format_phase_timings: the one CLI phase pretty-printer."""
+
+from __future__ import annotations
+
+from repro.obs import format_phase_timings
+
+
+def test_formats_each_phase_to_millisecond_precision():
+    assert (
+        format_phase_timings({"signatures": 0.0041239, "walk": 1.5})
+        == "signatures=0.004s walk=1.500s"
+    )
+
+
+def test_preserves_insertion_order():
+    phases = {"b": 1.0, "a": 2.0}
+    assert format_phase_timings(phases) == "b=1.000s a=2.000s"
+
+
+def test_empty_is_empty_string():
+    assert format_phase_timings({}) == ""

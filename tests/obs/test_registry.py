@@ -1,0 +1,240 @@
+"""MetricsRegistry: instrument semantics, snapshot/merge, Prometheus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    capture_metrics,
+    metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(ConfigurationError, match="only increase"):
+            counter.inc(-1)
+        assert counter.value == 0.0
+
+    def test_same_name_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("repro_requests_total", labels={"status": "ok"})
+        err = registry.counter("repro_requests_total", labels={"status": "error"})
+        ok.inc(3)
+        assert err.value == 0.0
+        assert registry.value("repro_requests_total", {"status": "ok"}) == 3.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", labels={"a": "1", "b": "2"})
+        b = registry.counter("repro_x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_in_flight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+
+class TestHistogram:
+    def test_observe_buckets_by_upper_bound_inclusive(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5, 1.0, 1.5, 3.0, 99.0):
+            histogram.observe(value)
+        # le-style: value <= bound lands in that bucket; 99 overflows to +Inf.
+        assert histogram.bucket_counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(105.0)
+
+    def test_buckets_must_be_strictly_increasing(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            registry.histogram("repro_bad", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            registry.histogram("repro_empty", buckets=())
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(1.0, 2.0)
+        )
+        for _ in range(10):
+            histogram.observe(1.5)  # all mass in the (1, 2] bucket
+        # Median rank sits halfway through that bucket's span.
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(0.0) == pytest.approx(1.0)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+    def test_quantile_empty_is_zero_and_overflow_clamps(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(1.0, 2.0)
+        )
+        assert histogram.quantile(0.95) == 0.0
+        histogram.observe(50.0)  # beyond the last finite bound
+        assert histogram.quantile(0.99) == pytest.approx(2.0)
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("repro_latency_seconds")
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            histogram.quantile(1.5)
+
+
+class TestRegistrySemantics:
+    def test_factories_are_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a_total") is registry.counter("repro_a_total")
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("repro_a_total")
+
+    def test_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.histogram("repro_h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_and_labels_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="metric names"):
+            registry.counter("bad name")
+        with pytest.raises(ConfigurationError, match="label names"):
+            registry.counter("repro_ok_total", labels={"bad-key": "x"})
+
+    def test_get_and_value_missing_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.get("repro_missing") is None
+        assert registry.value("repro_missing") is None
+
+    def test_value_reads_histogram_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+        assert registry.value("repro_h") == 1.0
+
+
+class TestSnapshotMerge:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("repro_req_total", labels={"op": "predict"}).inc(7)
+        registry.gauge("repro_in_flight").set(2)
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        return registry
+
+    def test_snapshot_is_json_safe(self):
+        snapshot = self._populated().snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped == snapshot
+        assert {c["name"] for c in snapshot["counters"]} == {"repro_req_total"}
+        (hist,) = snapshot["histograms"]
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["bucket_counts"] == [1, 1, 0]
+        assert hist["sum"] == pytest.approx(0.55)
+
+    def test_merge_into_empty_reconstructs_source(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_adds_counters_and_histograms_overwrites_gauges(self):
+        source = self._populated()
+        target = self._populated()
+        target.gauge("repro_in_flight").set(9)
+        target.merge(source.snapshot())
+        assert target.value("repro_req_total", {"op": "predict"}) == 14.0
+        assert target.value("repro_in_flight") == 2.0  # overwritten, not 11
+        hist = target.get("repro_lat_seconds")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(1.1)
+
+    def test_merge_twice_doubles_counters(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        target.merge(source.snapshot())
+        assert target.value("repro_req_total", {"op": "predict"}) == 14.0
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_req_total", help="Total requests.", labels={"op": "predict"}
+        ).inc(3)
+        registry.gauge("repro_in_flight").set(1.5)
+        text = registry.to_prometheus()
+        assert "# HELP repro_req_total Total requests." in text
+        assert "# TYPE repro_req_total counter" in text
+        assert 'repro_req_total{op="predict"} 3' in text
+        assert "# TYPE repro_in_flight gauge" in text
+        assert "repro_in_flight 1.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_rendering_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 9.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 3' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_seconds_count 4" in text
+        assert "repro_lat_seconds_sum 10.05" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labels={"path": 'a"b\nc'}).inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\"b\\nc"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestDefaultRegistry:
+    def test_metrics_returns_stable_singleton(self):
+        assert metrics() is metrics()
+
+    def test_capture_metrics_swaps_and_restores(self):
+        before = metrics()
+        with capture_metrics() as captured:
+            assert metrics() is captured
+            assert captured is not before
+            metrics().counter("repro_inside_total").inc()
+        assert metrics() is before
+        assert before.get("repro_inside_total") is None
+        assert captured.value("repro_inside_total") == 1.0
+
+
+def test_default_buckets_are_valid():
+    MetricsRegistry().histogram("repro_a", buckets=DEFAULT_LATENCY_BUCKETS_S)
+    MetricsRegistry().histogram("repro_b", buckets=DEFAULT_SIZE_BUCKETS)

@@ -1,0 +1,140 @@
+"""Spans: nesting, registry counters, traced(), PhaseSpans accumulation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    PhaseSpans,
+    capture_metrics,
+    current_span,
+    span,
+    traced,
+)
+
+
+class TestSpan:
+    def test_measures_wall_time(self):
+        registry = MetricsRegistry()
+        with span("test.sleep", registry=registry) as active:
+            pass
+        assert active.wall_s >= 0.0
+        assert active.elapsed_s == active.wall_s
+
+    def test_records_counter_pair(self):
+        registry = MetricsRegistry()
+        with span("test.phase", registry=registry):
+            pass
+        with span("test.phase", registry=registry):
+            pass
+        assert registry.value(
+            "repro_span_calls_total", {"span": "test.phase"}
+        ) == 2.0
+        seconds = registry.value(
+            "repro_span_seconds_total", {"span": "test.phase"}
+        )
+        assert seconds is not None and seconds >= 0.0
+
+    def test_nesting_tracks_parent_depth_children(self):
+        registry = MetricsRegistry()
+        assert current_span() is None
+        with span("outer", registry=registry) as outer:
+            assert current_span() is outer
+            assert outer.depth == 0 and outer.parent is None
+            with span("inner", registry=registry) as inner:
+                assert current_span() is inner
+                assert inner.depth == 1 and inner.parent is outer
+            assert current_span() is outer
+        assert current_span() is None
+        assert outer.children == [inner]
+        assert inner.children == []
+
+    def test_exception_still_records_and_unwinds(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with span("test.boom", registry=registry):
+                raise ValueError("boom")
+        assert current_span() is None
+        assert registry.value(
+            "repro_span_calls_total", {"span": "test.boom"}
+        ) == 1.0
+
+    def test_default_registry_resolved_at_exit(self):
+        # A span opened outside capture_metrics but closed inside it must
+        # land in the captured registry — this is what lets benchmarks
+        # and pool workers scope span counters to one block.
+        with capture_metrics() as captured:
+            with span("test.captured"):
+                pass
+        assert captured.value(
+            "repro_span_calls_total", {"span": "test.captured"}
+        ) == 1.0
+
+
+@traced("test.kernel")
+def _kernel(static, dynamic, task):
+    return task * 2
+
+
+class TestTraced:
+    def test_wraps_and_records(self):
+        with capture_metrics() as captured:
+            assert _kernel(None, None, 21) == 42
+        assert captured.value(
+            "repro_span_calls_total", {"span": "test.kernel"}
+        ) == 1.0
+        assert _kernel.__name__ == "_kernel"
+
+    def test_decorated_kernel_stays_picklable(self):
+        # Process backends pickle kernels by module-level name.
+        assert pickle.loads(pickle.dumps(_kernel)) is _kernel
+
+
+class TestPhaseSpans:
+    def test_totals_keyed_by_bare_name_spans_by_prefixed(self):
+        registry = MetricsRegistry()
+        phases = PhaseSpans("fit", registry=registry)
+        with phases.span("signatures"):
+            pass
+        assert set(phases.totals) == {"signatures"}
+        assert registry.value(
+            "repro_span_calls_total", {"span": "fit.signatures"}
+        ) == 1.0
+
+    def test_repeated_phases_accumulate(self):
+        phases = PhaseSpans("extend", registry=MetricsRegistry())
+        for _ in range(3):
+            with phases.span("walk"):
+                pass
+        calls = phases._registry.value(
+            "repro_span_calls_total", {"span": "extend.walk"}
+        )
+        assert calls == 3.0
+        assert phases.totals["walk"] >= 0.0
+
+    def test_preseeded_totals_keep_key_set_and_order(self):
+        totals = dict.fromkeys(("signatures", "shortlist", "walk"), 0.0)
+        phases = PhaseSpans("extend", totals=totals, registry=MetricsRegistry())
+        with phases.span("walk"):
+            pass
+        assert list(totals) == ["signatures", "shortlist", "walk"]
+        assert totals["signatures"] == 0.0
+
+    def test_on_phase_callback_sees_each_interval(self):
+        seen = []
+        phases = PhaseSpans(
+            "x",
+            registry=MetricsRegistry(),
+            on_phase=lambda name, seconds: seen.append((name, seconds)),
+        )
+        with phases.span("a"):
+            pass
+        with phases.span("a"):
+            pass
+        assert [name for name, _ in seen] == ["a", "a"]
+        assert sum(seconds for _, seconds in seen) == pytest.approx(
+            phases.totals["a"]
+        )
