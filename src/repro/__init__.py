@@ -51,6 +51,10 @@ Package map — each subpackage is documented in its own ``__init__``:
 * :mod:`repro.instrumentation` — per-iteration statistics
 * :mod:`repro.obs` — metrics registry, tracing spans, JSON trace
   events and the ``GET /metrics`` Prometheus surface
+* :mod:`repro.resilience` — admission control + micro-batching in
+  front of the server (``ResilienceSpec``), capped-backoff retry
+  policies for worker-crash recovery, and deterministic fault
+  injection for the chaos suite
 """
 
 from repro.api import (
@@ -58,6 +62,7 @@ from repro.api import (
     EngineSpec,
     EstimatorProtocol,
     LSHSpec,
+    ResilienceSpec,
     ServeSpec,
     StreamSpec,
     TrainSpec,
@@ -97,9 +102,13 @@ from repro.exceptions import (
     ConfigurationError,
     ConvergenceError,
     DataValidationError,
+    DeadlineExceededError,
     EmptyClusterError,
     NotFittedError,
+    OverloadedError,
+    PoolBrokenError,
     ReproError,
+    ServerClosedError,
     check_fitted,
 )
 from repro.kmeans import KMeans, LSHKMeans, MiniBatchKMeans
@@ -121,6 +130,7 @@ __all__ = [
     "LSHSpec",
     "EngineSpec",
     "TrainSpec",
+    "ResilienceSpec",
     "ServeSpec",
     "StreamSpec",
     "ClusterModel",
@@ -175,5 +185,9 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "EmptyClusterError",
+    "ServerClosedError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "PoolBrokenError",
     "check_fitted",
 ]

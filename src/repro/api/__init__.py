@@ -44,6 +44,7 @@ from repro.api.registry import (
 )
 from repro.api.specs import (
     BACKEND_NAMES,
+    DEGRADE_POLICIES,
     EMPTY_CLUSTER_POLICIES,
     LSH_FAMILIES,
     PREDICT_FALLBACK_POLICIES,
@@ -51,6 +52,7 @@ from repro.api.specs import (
     UPDATE_REFS_MODES,
     EngineSpec,
     LSHSpec,
+    ResilienceSpec,
     ServeSpec,
     Spec,
     StreamSpec,
@@ -62,8 +64,10 @@ __all__ = [
     "LSHSpec",
     "EngineSpec",
     "TrainSpec",
+    "ResilienceSpec",
     "ServeSpec",
     "StreamSpec",
+    "DEGRADE_POLICIES",
     "LSH_FAMILIES",
     "BACKEND_NAMES",
     "START_METHODS",

@@ -65,10 +65,12 @@ __all__ = [
     "UPDATE_REFS_MODES",
     "EMPTY_CLUSTER_POLICIES",
     "PREDICT_FALLBACK_POLICIES",
+    "DEGRADE_POLICIES",
     "Spec",
     "LSHSpec",
     "EngineSpec",
     "TrainSpec",
+    "ResilienceSpec",
     "ServeSpec",
     "StreamSpec",
 ]
@@ -94,6 +96,11 @@ EMPTY_CLUSTER_POLICIES = ("keep", "reinit", "error")
 #: Policies when a novel item's shortlist is empty at predict time
 #: (mirrors ``repro.core.shortlist.FALLBACK_POLICIES``).
 PREDICT_FALLBACK_POLICIES = ("full", "error")
+
+#: What a serving pool does once its retry budget is exhausted
+#: (mirrors ``repro.engine.pool.DEGRADE_POLICIES``; duplicated so the
+#: spec layer stays import-light and cycle-free).
+DEGRADE_POLICIES = ("serial", "error")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -334,6 +341,101 @@ class TrainSpec(Spec):
 
 
 @dataclass(frozen=True, repr=False)
+class ResilienceSpec(Spec):
+    """How serving behaves under overload and worker failure.
+
+    Hangs off :attr:`ServeSpec.resilience`; when set,
+    :class:`repro.serve.ModelServer` routes ``predict`` through a
+    bounded :class:`~repro.resilience.AdmissionQueue` and arms its
+    :class:`~repro.engine.pool.PersistentPool` with the retry/degrade
+    policy below.  ``None`` (the :class:`ServeSpec` default) keeps the
+    pre-resilience direct dispatch.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Requests allowed to wait for a predict wave; the next request
+        is rejected immediately with
+        :class:`~repro.exceptions.OverloadedError` (HTTP 429 +
+        ``Retry-After``).
+    max_in_flight:
+        Concurrent micro-batch predict waves (dispatcher threads).
+    deadline_ms:
+        Per-request deadline covering queue wait + execution; expiry
+        raises :class:`~repro.exceptions.DeadlineExceededError`
+        (HTTP 504).  ``None``: requests wait indefinitely.
+    batch_window_ms:
+        Linger after the first request of a wave arrives so concurrent
+        submitters coalesce; ``0`` drains only what is already queued.
+    max_retries, backoff_ms, backoff_max_ms, jitter, seed:
+        The pool's :class:`~repro.resilience.RetryPolicy` after a
+        worker death: retries per dispatch, first-retry delay, delay
+        cap, fractional jitter, and an optional jitter seed for
+        reproducible schedules.
+    degrade:
+        ``'serial'`` answers the request in-process once retries are
+        exhausted; ``'error'`` raises
+        :class:`~repro.exceptions.PoolBrokenError` (HTTP 500).
+    """
+
+    max_queue_depth: int = 64
+    max_in_flight: int = 2
+    deadline_ms: int | None = None
+    batch_window_ms: int = 0
+    max_retries: int = 2
+    backoff_ms: float = 50.0
+    backoff_max_ms: float = 2000.0
+    jitter: float = 0.1
+    seed: int | None = None
+    degrade: str = "serial"
+
+    def validate(self) -> None:
+        _require_positive(self.max_queue_depth, "max_queue_depth")
+        _require_positive(self.max_in_flight, "max_in_flight")
+        _require_positive(self.deadline_ms, "deadline_ms", optional=True)
+        _require(
+            isinstance(self.batch_window_ms, int)
+            and not isinstance(self.batch_window_ms, bool)
+            and self.batch_window_ms >= 0,
+            f"batch_window_ms must be a non-negative integer, got "
+            f"{self.batch_window_ms!r}",
+        )
+        _require(
+            isinstance(self.max_retries, int)
+            and not isinstance(self.max_retries, bool)
+            and self.max_retries >= 0,
+            f"max_retries must be a non-negative integer, got "
+            f"{self.max_retries!r}",
+        )
+        for name in ("backoff_ms", "backoff_max_ms"):
+            value = getattr(self, name)
+            _require(
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and value >= 0,
+                f"{name} must be a non-negative number, got {value!r}",
+            )
+        _require(
+            self.backoff_max_ms >= self.backoff_ms,
+            f"backoff_max_ms={self.backoff_max_ms} is below "
+            f"backoff_ms={self.backoff_ms}; the cap cannot undercut the "
+            "first delay",
+        )
+        _require(
+            isinstance(self.jitter, (int, float))
+            and not isinstance(self.jitter, bool)
+            and 0 <= self.jitter <= 1,
+            f"jitter must be a fraction in [0, 1], got {self.jitter!r}",
+        )
+        _require(
+            self.seed is None
+            or (isinstance(self.seed, int) and not isinstance(self.seed, bool)),
+            f"seed must be an int or None, got {self.seed!r}",
+        )
+        _require_choice(self.degrade, "degrade", DEGRADE_POLICIES)
+
+
+@dataclass(frozen=True, repr=False)
 class ServeSpec(Spec):
     """How a fitted :class:`~repro.api.ClusterModel` is served.
 
@@ -368,6 +470,11 @@ class ServeSpec(Spec):
         NDJSON op.  On by default (the overhead is gated below 5 % of
         serial serving throughput by the serving benchmark); ``False``
         turns the registry off entirely, and ``/metrics`` answers 404.
+    resilience:
+        Admission-control / retry / degrade configuration (a nested
+        :class:`ResilienceSpec`).  ``None`` (default) keeps the direct
+        dispatch path: no queue, no deadlines, pool defaults for
+        worker-death recovery.
     """
 
     backend: str = "serial"
@@ -376,6 +483,7 @@ class ServeSpec(Spec):
     max_batch: int = 8192
     allow_extend: bool = False
     emit_metrics: bool = True
+    resilience: "ResilienceSpec | None" = None
 
     def validate(self) -> None:
         _require_choice(self.backend, "backend", BACKEND_NAMES)
@@ -390,12 +498,40 @@ class ServeSpec(Spec):
             isinstance(self.emit_metrics, bool),
             f"emit_metrics must be a bool, got {self.emit_metrics!r}",
         )
+        _require(
+            self.resilience is None or isinstance(self.resilience, ResilienceSpec),
+            "resilience must be a ResilienceSpec or None, got "
+            f"{self.resilience!r}",
+        )
         if self.allow_extend and self.backend == "process":
             raise ConfigurationError(
                 "allow_extend requires backend 'serial' or 'thread'; "
                 "process workers hold private index copies that an "
                 "extend in the parent could never reach"
             )
+
+    # -- nested-spec round-tripping --------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; the nested resilience spec flattens too.
+
+        >>> spec = ServeSpec(resilience=ResilienceSpec(deadline_ms=100))
+        >>> spec.to_dict()["resilience"]["deadline_ms"]
+        100
+        >>> ServeSpec.from_dict(spec.to_dict()) == spec
+        True
+        """
+        data = super().to_dict()
+        if self.resilience is not None:
+            data["resilience"] = self.resilience.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeSpec":
+        if isinstance(data, dict) and isinstance(data.get("resilience"), dict):
+            data = dict(data)
+            data["resilience"] = ResilienceSpec.from_dict(data["resilience"])
+        return super().from_dict(data)
 
 
 @dataclass(frozen=True, repr=False)

@@ -24,7 +24,14 @@ Six subcommands mirror the library's workflow:
   endpoint with ``--http PORT`` (``0`` picks a free port); a
   :class:`~repro.api.ServeSpec` persisted next to the model supplies
   the defaults, individual flags override, and ``--allow-extend``
-  additionally accepts ``{"op": "extend"}`` streaming-ingest requests;
+  additionally accepts ``{"op": "extend"}`` streaming-ingest requests.
+  ``--deadline-ms`` / ``--max-queue`` / ``--retries`` /
+  ``--max-in-flight`` arm the admission-control layer
+  (:class:`~repro.api.ResilienceSpec`): a bounded micro-batching queue
+  with structured ``overloaded`` / ``deadline_exceeded`` errors, and
+  worker-crash retry/degrade on the serving pool.  SIGTERM/SIGINT
+  drain in-flight requests (bounded by the deadline) before a clean
+  exit;
 * ``compare`` — run a named paper experiment (fig2 … fig10) and print
   the paper-style tables (``--backend``/``--jobs`` apply to the MH
   variants);
@@ -230,6 +237,45 @@ def build_parser() -> argparse.ArgumentParser:
             "accept {\"op\": \"extend\"} streaming-ingest requests (the "
             "index absorbs the rows; serial/thread backends only)"
         ),
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-request deadline (queue wait + execution); expired "
+            "requests answer 504 deadline_exceeded.  Setting any "
+            "resilience flag routes predict through the bounded "
+            "admission queue"
+        ),
+    )
+    srv.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "requests allowed to wait for a predict wave before new "
+            "ones answer 429 overloaded (default: 64)"
+        ),
+    )
+    srv.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "pool-respawn retries after a worker death before the "
+            "degrade policy applies (default: 2)"
+        ),
+    )
+    srv.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent micro-batch predict waves (default: 2)",
     )
     srv.add_argument(
         "--no-metrics",
@@ -568,14 +614,34 @@ def _cmd_extend(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.api import ServeSpec
-    from repro.data.io import load_cluster_model, load_serve_spec
-    from repro.serve import ModelServer, make_http_server, serve_ndjson
+class _ShutdownSignal(Exception):
+    """SIGTERM/SIGINT turned into a catchable graceful-exit request."""
 
-    _enable_observability(args)
-    model = load_cluster_model(args.model)
-    spec = load_serve_spec(args.model) or ServeSpec()
+
+def _install_shutdown_handlers() -> None:
+    """Make SIGTERM/SIGINT raise :class:`_ShutdownSignal` in the main thread.
+
+    ``repro serve`` then drains in-flight requests (bounded by any
+    configured deadline), refuses new ones with 503 and exits 0 —
+    instead of dying mid-response.  No-op when not in the main thread
+    (in-process tests drive ``serve_ndjson`` directly).
+    """
+    import signal
+
+    def handler(signum, frame):
+        raise _ShutdownSignal(signum)
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, handler)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+
+
+def _resolve_serve_spec(args: argparse.Namespace, spec):
+    """Apply ``repro serve`` flag overrides to the (loaded) ServeSpec."""
+    from repro.api import ResilienceSpec
+
     overrides = {
         key: value
         for key, value in (
@@ -590,8 +656,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         overrides["allow_extend"] = True
     if args.no_metrics:
         overrides["emit_metrics"] = False
-    spec = spec.replace(**overrides)
+    resilience_overrides = {
+        key: value
+        for key, value in (
+            ("deadline_ms", args.deadline_ms),
+            ("max_queue_depth", args.max_queue),
+            ("max_retries", args.retries),
+            ("max_in_flight", args.max_in_flight),
+        )
+        if value is not None
+    }
+    if resilience_overrides:
+        # Any resilience flag turns admission control on, extending a
+        # persisted ResilienceSpec when the model was saved with one.
+        base = spec.resilience if spec.resilience is not None else ResilienceSpec()
+        overrides["resilience"] = base.replace(**resilience_overrides)
+    return spec.replace(**overrides)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import ServeSpec
+    from repro.data.io import load_cluster_model, load_serve_spec
+    from repro.serve import ModelServer, make_http_server, serve_ndjson
+
+    _enable_observability(args)
+    _install_shutdown_handlers()
+    model = load_cluster_model(args.model)
+    spec = _resolve_serve_spec(args, load_serve_spec(args.model) or ServeSpec())
     with ModelServer(model, spec) as server:
+        # The context manager is the graceful-shutdown path: __exit__
+        # runs ModelServer.close(), which refuses new requests with
+        # 503/shutting_down, drains the admission queue (bounded by the
+        # deadline) and then tears the pool down.
         if args.http is not None:
             httpd = make_http_server(server, port=args.http)
             host, port = httpd.server_address[:2]
@@ -600,16 +696,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"serving {model!r} on http://{host}:{port}", flush=True)
             try:
                 httpd.serve_forever()
-            except KeyboardInterrupt:  # pragma: no cover - interactive exit
-                pass
+            except (KeyboardInterrupt, _ShutdownSignal):
+                print(
+                    "shutting down: draining in-flight requests",
+                    file=sys.stderr,
+                    flush=True,
+                )
             finally:
                 httpd.server_close()
         else:
             # stdout is the response channel; the ready line goes to
             # stderr so it never interleaves with NDJSON responses.
             print(f"serving {model!r} on stdin/stdout (ndjson)", file=sys.stderr, flush=True)
-            answered = serve_ndjson(server, sys.stdin, sys.stdout)
-            print(f"served {answered} request(s)", file=sys.stderr)
+            try:
+                answered = serve_ndjson(server, sys.stdin, sys.stdout)
+                print(f"served {answered} request(s)", file=sys.stderr)
+            except (KeyboardInterrupt, _ShutdownSignal):
+                print(
+                    "shutting down: draining in-flight requests",
+                    file=sys.stderr,
+                    flush=True,
+                )
         _write_metrics_snapshot(args, server.metrics_snapshot())
     return 0
 

@@ -40,7 +40,8 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable
 
 from repro.engine.shared import SharedArray, ensure_cleanup_tracker
@@ -48,6 +49,7 @@ from repro.exceptions import ConfigurationError
 
 __all__ = [
     "BACKEND_NAMES",
+    "WORKER_FAILURE_EXCEPTIONS",
     "BackendSession",
     "ExecutionBackend",
     "SerialBackend",
@@ -62,6 +64,14 @@ BACKEND_NAMES = ("serial", "thread", "process")
 
 #: Kernel signature every backend maps over tasks.
 Kernel = Callable[[Any, Any, Any], Any]
+
+#: Exceptions meaning "the *infrastructure* under a dispatch failed"
+#: (a worker died, a result was lost) as opposed to the kernel raising.
+#: :class:`repro.engine.pool.PersistentPool` retries these by
+#: respawning its session; kernel exceptions propagate untouched.
+#: :class:`~repro.resilience.faults.InjectedPoolFault` is appended at
+#: pool level so the chaos suite exercises the same path.
+WORKER_FAILURE_EXCEPTIONS: tuple[type[BaseException], ...] = (BrokenProcessPool,)
 
 
 def default_n_jobs() -> int:
@@ -267,35 +277,48 @@ class _ProcessSession(BackendSession):
         # so only small objects ever cross that pickle.  Workers must
         # inherit the parent's (not their own) resource tracker for the
         # shared-memory bookkeeping to balance.
+        #
+        # ProcessPoolExecutor rather than multiprocessing.Pool: when a
+        # worker dies abruptly (SIGKILL, OOM), the executor *raises*
+        # BrokenProcessPool on the pending map instead of hanging the
+        # dispatch forever — which is what lets PersistentPool detect
+        # worker death and respawn.  A kernel exception still
+        # propagates per-task without breaking the executor.
         ensure_cleanup_tracker()
         context = multiprocessing.get_context(start_method)
-        self._pool = context.Pool(
-            processes=n_jobs,
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=n_jobs,
+            mp_context=context,
             initializer=_init_process_worker,
             initargs=(static,),
         )
 
     def run(self, fn: Kernel, tasks: list, dynamic: Any = None) -> list:
-        assert self._pool is not None, "session is closed"
-        return self._pool.map(
-            _invoke_in_process, [(fn, dynamic, task) for task in tasks]
+        assert self._executor is not None, "session is closed"
+        return list(
+            self._executor.map(
+                _invoke_in_process, [(fn, dynamic, task) for task in tasks]
+            )
         )
 
     def run_metered(
         self, fn: Kernel, tasks: list, dynamic: Any = None
     ) -> tuple[list, list[dict]]:
-        assert self._pool is not None, "session is closed"
-        pairs = self._pool.map(
-            _invoke_in_process_metered,
-            [(fn, dynamic, task) for task in tasks],
+        assert self._executor is not None, "session is closed"
+        pairs = list(
+            self._executor.map(
+                _invoke_in_process_metered,
+                [(fn, dynamic, task) for task in tasks],
+            )
         )
         return [result for result, _ in pairs], [snap for _, snap in pairs]
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        if self._executor is not None:
+            # A broken executor's workers are already dead; shutdown
+            # then just reaps bookkeeping and returns promptly.
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
 
 class ProcessBackend(ExecutionBackend):

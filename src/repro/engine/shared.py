@@ -24,6 +24,7 @@ closes; workers keep their attachments for the life of the process
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 import numpy as np
@@ -33,7 +34,25 @@ try:  # pragma: no cover - present on every supported platform
 except ImportError:  # pragma: no cover - extremely stripped builds
     _shm_module = None
 
-__all__ = ["SharedArray", "ensure_cleanup_tracker", "resolve_array"]
+__all__ = [
+    "SharedArray",
+    "ensure_cleanup_tracker",
+    "live_segment_count",
+    "resolve_array",
+]
+
+#: Names of shm segments created (and not yet released) by this
+#: process.  Leak tests assert this returns to its baseline after every
+#: pool teardown — including the worker-crash/respawn paths, where the
+#: pool's finalizer rather than a clean ``close()`` does the release.
+_LIVE_SEGMENTS: set[str] = set()
+_LIVE_SEGMENTS_LOCK = threading.Lock()
+
+
+def live_segment_count() -> int:
+    """Owner-created shm segments not yet released (0 when nothing leaks)."""
+    with _LIVE_SEGMENTS_LOCK:
+        return len(_LIVE_SEGMENTS)
 
 #: Per-process cache of attached segments: shm name -> (segment, array).
 #: Attaching costs an shm_open + mmap, so each worker pays it once per
@@ -123,6 +142,8 @@ class SharedArray:
         handle._name = segment.name
         handle._shape = array.shape
         handle._dtype = array.dtype
+        with _LIVE_SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.add(segment.name)
         return handle
 
     @property
@@ -152,6 +173,8 @@ class SharedArray:
             return
         self._array = None
         segment, self._shm = self._shm, None
+        with _LIVE_SEGMENTS_LOCK:
+            _LIVE_SEGMENTS.discard(segment.name)
         try:
             segment.close()
             segment.unlink()

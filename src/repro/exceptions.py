@@ -16,6 +16,10 @@ __all__ = [
     "NotFittedError",
     "ConvergenceError",
     "EmptyClusterError",
+    "ServerClosedError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "PoolBrokenError",
     "check_fitted",
 ]
 
@@ -56,6 +60,51 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class EmptyClusterError(ReproError, RuntimeError):
     """A cluster lost all members and the configured policy is ``'error'``."""
+
+
+class ServerClosedError(ConfigurationError):
+    """A request reached a serving object that is closed or draining.
+
+    Raised by :meth:`repro.serve.ModelServer._check_open`, the admission
+    queue and :meth:`repro.engine.pool.PersistentPool._check_open`.  A
+    subclass of :class:`ConfigurationError` so callers that historically
+    caught that for "used after close" keep working; the serving layer
+    maps it to HTTP 503 with error code ``"shutting_down"``.
+    """
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """Admission control rejected a request: the server is at capacity.
+
+    Raised *immediately* — an overloaded server answers fast instead of
+    queueing unboundedly.  ``retry_after_s`` is the server's hint for
+    when capacity is likely back; the serving layer surfaces it as a
+    ``Retry-After`` header on HTTP 429 and as ``retry_after_s`` in the
+    NDJSON error object (code ``"overloaded"``).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's deadline expired before its labels were produced.
+
+    The request is abandoned (its result, if any, is discarded) but the
+    serving pool is untouched — the next request proceeds normally.
+    Maps to HTTP 504 with error code ``"deadline_exceeded"``.
+    """
+
+
+class PoolBrokenError(ReproError, RuntimeError):
+    """A worker pool died and could not (or may not) be recovered.
+
+    Raised when a :class:`~repro.engine.pool.PersistentPool` exhausts
+    its restart budget and the configured degrade policy is
+    ``'error'``, or when respawning the pool itself fails.  Maps to
+    HTTP 500 with error code ``"pool_broken"``.
+    """
 
 
 def check_fitted(estimator, message: str | None = None) -> None:

@@ -1,0 +1,139 @@
+"""Capped exponential backoff with jitter, as a value object.
+
+Every retry loop in the library — today the pool-respawn path in
+:class:`repro.engine.pool.PersistentPool`, tomorrow a serving router's
+shard retries — shares one policy shape: try, back off exponentially
+from ``backoff_ms`` up to ``backoff_max_ms``, spread concurrent
+retriers with multiplicative jitter, give up after ``max_retries``.
+:class:`RetryPolicy` captures exactly that and nothing else; the loop
+itself is :func:`retry_call`.
+
+Determinism matters twice.  Chaos tests need reproducible schedules, so
+a policy built with ``seed=`` draws its jitter from a private
+:class:`random.Random` stream — two policies with the same seed produce
+the same delays.  And production retries must never sleep longer than
+the cap no matter the jitter draw, so the jittered delay is clamped to
+``backoff_max_ms`` after the multiplication, not before.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RetryPolicy", "compute_backoff_s", "retry_call"]
+
+
+def compute_backoff_s(
+    attempt: int, backoff_ms: float, backoff_max_ms: float
+) -> float:
+    """The un-jittered delay before retry ``attempt`` (1-based), in seconds.
+
+    Doubles per attempt from ``backoff_ms``, capped at
+    ``backoff_max_ms``:
+
+    >>> [compute_backoff_s(a, 50, 1000) for a in (1, 2, 3, 4, 5, 6)]
+    [0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+    """
+    if attempt < 1:
+        raise ConfigurationError(f"attempt is 1-based, got {attempt}")
+    delay_ms = min(backoff_max_ms, backoff_ms * (2.0 ** (attempt - 1)))
+    return delay_ms / 1000.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, and how long to wait between tries.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries *after* the first attempt (0 disables retrying while
+        keeping the policy object usable).
+    backoff_ms, backoff_max_ms:
+        First-retry delay and the cap the doubling saturates at.
+    jitter:
+        Fractional spread: each delay is multiplied by a uniform draw
+        from ``[1 - jitter, 1 + jitter]`` and re-clamped to the cap.
+        ``0`` gives the exact deterministic doubling sequence.
+    seed:
+        Seeds the jitter stream for reproducible schedules (``None``:
+        the process-global :mod:`random` state).
+    """
+
+    max_retries: int = 2
+    backoff_ms: float = 50.0
+    backoff_max_ms: float = 2000.0
+    jitter: float = 0.1
+    seed: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be a non-negative integer, got "
+                f"{self.max_retries!r}"
+            )
+        for name in ("backoff_ms", "backoff_max_ms"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be a non-negative number, got {value!r}"
+                )
+        if self.backoff_max_ms < self.backoff_ms:
+            raise ConfigurationError(
+                f"backoff_max_ms={self.backoff_max_ms} is below "
+                f"backoff_ms={self.backoff_ms}; the cap cannot undercut "
+                "the first delay"
+            )
+        if not isinstance(self.jitter, (int, float)) or not 0 <= self.jitter <= 1:
+            raise ConfigurationError(
+                f"jitter must be a fraction in [0, 1], got {self.jitter!r}"
+            )
+
+    def schedule(self) -> Iterator[float]:
+        """Yield the jittered delay (seconds) for attempts 1, 2, 3, ...
+
+        Each call returns a fresh stream; with ``seed`` set, every
+        stream replays the same draws.
+        """
+        rng = random.Random(self.seed) if self.seed is not None else random
+        attempt = 0
+        while True:
+            attempt += 1
+            base = compute_backoff_s(attempt, self.backoff_ms, self.backoff_max_ms)
+            if self.jitter:
+                base *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+            yield min(base, self.backoff_max_ms / 1000.0)
+
+
+def retry_call(
+    fn: Callable[[], "object"],
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...],
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn()`` under ``policy``, retrying on ``retry_on`` failures.
+
+    ``on_retry(attempt, exc, delay_s)`` fires before each backoff sleep
+    (attempt is 1-based); the final failure re-raises the last
+    exception.  ``sleep`` is injectable so tests run without waiting.
+    """
+    schedule = policy.schedule()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise
+            delay_s = next(schedule)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay_s)
+            if delay_s > 0:
+                sleep(delay_s)

@@ -32,11 +32,17 @@ Quick start::
 """
 
 from repro.serve.server import ModelServer
-from repro.serve.service import handle_request, make_http_server, serve_ndjson
+from repro.serve.service import (
+    error_descriptor,
+    handle_request,
+    make_http_server,
+    serve_ndjson,
+)
 
 __all__ = [
     "ModelServer",
     "serve_ndjson",
     "make_http_server",
     "handle_request",
+    "error_descriptor",
 ]

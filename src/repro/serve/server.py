@@ -52,7 +52,11 @@ from repro.engine.backends import resolve_backend
 from repro.engine.chunking import chunk_ranges
 from repro.engine.pool import PersistentPool
 from repro.engine.shared import SharedArray, resolve_array
-from repro.exceptions import ConfigurationError, DataValidationError
+from repro.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    ServerClosedError,
+)
 from repro.instrumentation import Timer
 from repro.obs import (
     DEFAULT_SIZE_BUCKETS,
@@ -60,6 +64,8 @@ from repro.obs import (
     metrics as process_metrics,
     traced,
 )
+from repro.resilience.queue import AdmissionQueue
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ModelServer"]
 
@@ -177,10 +183,45 @@ class ModelServer:
         )
         if self.metrics is not None:
             self._init_instruments()
+        # Worker-death recovery: the pool's retry/degrade policy comes
+        # from the resilience spec when one is set, pool defaults
+        # otherwise (worker crashes are survivable either way).
+        resilience = spec.resilience
+        retry_policy = None
+        degrade = "serial"
+        if resilience is not None:
+            retry_policy = RetryPolicy(
+                max_retries=resilience.max_retries,
+                backoff_ms=resilience.backoff_ms,
+                backoff_max_ms=resilience.backoff_max_ms,
+                jitter=resilience.jitter,
+                seed=resilience.seed,
+            )
+            degrade = resilience.degrade
         self._pool: PersistentPool | None = None
         if self._backend.is_parallel:
             self._pool = PersistentPool(
-                self._backend, static=self._estimator, metrics=self.metrics
+                self._backend,
+                static=self._estimator,
+                metrics=self.metrics,
+                retry_policy=retry_policy,
+                degrade=degrade,
+            )
+        # Admission control: with a resilience spec, predict routes
+        # through a bounded micro-batching queue whose waves call the
+        # same chunked dispatch — coalescing never changes a label.
+        # The mutation guard moves inside the wave (the dispatcher
+        # thread runs it); submitters must not hold it while waiting.
+        self._queue: AdmissionQueue | None = None
+        if resilience is not None:
+            self._queue = AdmissionQueue(
+                self._queued_execute,
+                max_queue_depth=resilience.max_queue_depth,
+                max_in_flight=resilience.max_in_flight,
+                max_wave_rows=spec.max_batch,
+                deadline_ms=resilience.deadline_ms,
+                batch_window_ms=resilience.batch_window_ms,
+                registry=self.metrics,
             )
 
     def _init_instruments(self) -> None:
@@ -304,19 +345,31 @@ class ModelServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Shut the pool down and release the request buffer.
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut the queue and pool down; release the request buffer.
 
-        Idempotent and safe to race from several threads: the pool is
-        torn down exactly once (``PersistentPool.close`` serialises).
+        With an admission queue, ``drain=True`` (default) answers what
+        is already queued before tearing down — bounded by ``timeout``
+        seconds, defaulting to the resilience spec's ``deadline_ms``
+        when one is configured (queued requests could never take longer
+        anyway).  New requests are refused with
+        :class:`~repro.exceptions.ServerClosedError` the moment close
+        begins.  Idempotent and safe to race from several threads: the
+        pool is torn down exactly once (``PersistentPool.close``
+        serialises).
         """
         self._closed = True
+        if self._queue is not None:
+            if timeout is None and self.spec.resilience is not None:
+                deadline_ms = self.spec.resilience.deadline_ms
+                timeout = None if deadline_ms is None else deadline_ms / 1000.0
+            self._queue.close(drain=drain, timeout=timeout)
         if self._pool is not None:
             self._pool.close()  # releases the request buffer segment too
 
     def _check_open(self) -> None:
         if self._closed:
-            raise ConfigurationError("this ModelServer is closed")
+            raise ServerClosedError("this ModelServer is closed")
 
     # ------------------------------------------------------------------
     # serving
@@ -329,11 +382,26 @@ class ModelServer:
         bounds its requests); an empty batch answers with zero labels.
         A request that fails validation raises without disturbing the
         pool — the next request proceeds normally.
+
+        With a resilience spec, the request rides the admission queue:
+        it may coalesce into a micro-batch wave with concurrent
+        requests (same labels — waves split back by row offset), be
+        rejected immediately with
+        :class:`~repro.exceptions.OverloadedError` when the queue is
+        full, or time out with
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
         with self._observe_request("predict") as observed:
             X = self._prepare(X)
-            with self._mutation_guard():
-                labels = self._predict_validated(X)
+            n = int(X.shape[0])
+            if self._queue is not None and n:
+                labels = self._queue.submit(X)
+                with self._stats_lock:
+                    self._requests += 1
+                    self._items += n
+            else:
+                with self._mutation_guard():
+                    labels = self._predict_validated(X)
             observed["rows"] = int(labels.shape[0])
             return labels
 
@@ -414,26 +482,45 @@ class ModelServer:
                 )
         return self._estimator._validate_predict_X(raw)
 
-    def _predict_validated(self, X: np.ndarray) -> np.ndarray:
-        """Dispatch an already-canonical batch (labels only)."""
+    def _dispatch_labels(self, X: np.ndarray) -> np.ndarray:
+        """Raw chunked dispatch of a canonical batch (no bookkeeping).
+
+        The one predict path everything funnels into: direct calls,
+        distance serving, and the admission queue's waves (where ``X``
+        is several coalesced requests — chunking splits it the same
+        way it would one large batch).
+        """
         n = X.shape[0]
         if self._pool is None or n == 0:
-            labels = self._estimator.predict(X)
+            return self._estimator.predict(X)
+        spans = self._spans(n)
+        if self._backend.name == "process":
+            with self._buffer_lock:
+                buffer = self._request_buffer(X.dtype)
+                buffer[:n] = X
+                chunks = self._pool.run(
+                    _predict_chunk, spans, dynamic=self._x_buffer
+                )
         else:
-            spans = self._spans(n)
-            if self._backend.name == "process":
-                with self._buffer_lock:
-                    buffer = self._request_buffer(X.dtype)
-                    buffer[:n] = X
-                    chunks = self._pool.run(
-                        _predict_chunk, spans, dynamic=self._x_buffer
-                    )
-            else:
-                chunks = self._pool.run(_predict_chunk, spans, dynamic=X)
-            labels = np.concatenate(chunks)
+            chunks = self._pool.run(_predict_chunk, spans, dynamic=X)
+        return np.concatenate(chunks)
+
+    def _queued_execute(self, X: np.ndarray) -> np.ndarray:
+        """Wave executor for the admission queue (dispatcher threads).
+
+        Takes the mutation guard here rather than in ``predict``: a
+        submitter blocking on its wave while holding the guard would
+        deadlock against the dispatcher thread trying to acquire it.
+        """
+        with self._mutation_guard():
+            return self._dispatch_labels(X)
+
+    def _predict_validated(self, X: np.ndarray) -> np.ndarray:
+        """Dispatch an already-canonical batch and count it."""
+        labels = self._dispatch_labels(X)
         with self._stats_lock:
             self._requests += 1
-            self._items += n
+            self._items += X.shape[0]
         return labels
 
     def predict_with_distance(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -491,7 +578,21 @@ class ModelServer:
                 "n_jobs": int(self._backend.n_jobs),
                 "allow_extend": self.spec.allow_extend,
                 "pool_open": self._pool is not None and not self._pool.closed,
+                "pool_restarts": 0 if self._pool is None else self._pool.restarts,
                 "metrics_enabled": self.metrics is not None,
+                "resilience": (
+                    None
+                    if self.spec.resilience is None
+                    else {
+                        "queue_depth": (
+                            0 if self._queue is None else self._queue.depth
+                        ),
+                        "max_queue_depth": self.spec.resilience.max_queue_depth,
+                        "max_in_flight": self.spec.resilience.max_in_flight,
+                        "deadline_ms": self.spec.resilience.deadline_ms,
+                        "degrade": self.spec.resilience.degrade,
+                    }
+                ),
             },
             "requests_served": self.requests_served_,
             "items_served": self.items_served_,

@@ -4,8 +4,9 @@ Two transports over one request shape, both stdlib-only:
 
 * **NDJSON** (:func:`serve_ndjson`) — newline-delimited JSON over
   stdin/stdout.  One request object per line, one response object per
-  line, errors answered in-band (``{"error": ...}``) so a bad request
-  never kills the stream.
+  line, errors answered in-band as structured objects
+  (``{"error": {"code": ..., "message": ...}}`` — see
+  :data:`ERROR_CODES`) so a bad request never kills the stream.
 * **HTTP** (:func:`make_http_server`) — a localhost
   :class:`http.server.ThreadingHTTPServer`: ``POST /predict`` with the
   same JSON body, ``GET /health`` for the enriched liveness/status
@@ -41,14 +42,76 @@ from typing import IO
 
 import numpy as np
 
-from repro.exceptions import DataValidationError, ReproError
+from repro.exceptions import (
+    DataValidationError,
+    DeadlineExceededError,
+    OverloadedError,
+    PoolBrokenError,
+    ReproError,
+    ServerClosedError,
+)
 
 __all__ = [
+    "error_descriptor",
     "handle_request",
     "request_byte_limit",
     "serve_ndjson",
     "make_http_server",
 ]
+
+#: The stable error taxonomy both transports expose.  Every error
+#: answer is ``{"error": {"code": <code>, "message": <human text>}}``
+#: (NDJSON in-band / HTTP body), with the matching HTTP status:
+#:
+#: ==================== ======= =============================================
+#: code                 status  raised as
+#: ==================== ======= =============================================
+#: ``overloaded``       429     :class:`~repro.exceptions.OverloadedError`
+#:                              (+ ``retry_after_s`` field and a
+#:                              ``Retry-After`` header)
+#: ``shutting_down``    503     :class:`~repro.exceptions.ServerClosedError`
+#: ``deadline_exceeded`` 504    :class:`~repro.exceptions.DeadlineExceededError`
+#: ``pool_broken``      500     :class:`~repro.exceptions.PoolBrokenError`
+#: ``payload_too_large`` 413    transport byte limit (pre-parse)
+#: ``invalid_json``     400     request line/body is not JSON
+#: ``invalid_request``  400     any other validation failure
+#: ==================== ======= =============================================
+ERROR_CODES = (
+    "overloaded",
+    "shutting_down",
+    "deadline_exceeded",
+    "pool_broken",
+    "payload_too_large",
+    "invalid_json",
+    "invalid_request",
+)
+
+
+def error_descriptor(exc: BaseException) -> tuple[int, dict]:
+    """``(http_status, error_object)`` for one serving-path exception.
+
+    The single source of truth both transports share, so an NDJSON
+    client and an HTTP client always see the same ``code`` for the
+    same failure.  ``ServerClosedError`` must be tested before the
+    generic fallback: it deliberately subclasses
+    :class:`~repro.exceptions.ConfigurationError` for backwards
+    compatibility but is an availability condition, not a caller bug.
+    """
+    if isinstance(exc, OverloadedError):
+        return 429, {
+            "code": "overloaded",
+            "message": str(exc),
+            "retry_after_s": exc.retry_after_s,
+        }
+    if isinstance(exc, ServerClosedError):
+        return 503, {"code": "shutting_down", "message": str(exc)}
+    if isinstance(exc, DeadlineExceededError):
+        return 504, {"code": "deadline_exceeded", "message": str(exc)}
+    if isinstance(exc, PoolBrokenError):
+        return 500, {"code": "pool_broken", "message": str(exc)}
+    if isinstance(exc, json.JSONDecodeError):
+        return 400, {"code": "invalid_json", "message": f"invalid JSON: {exc}"}
+    return 400, {"code": "invalid_request", "message": str(exc)}
 
 
 def request_byte_limit(server) -> int:
@@ -141,11 +204,14 @@ def serve_ndjson(server, stdin: IO[str], stdout: IO[str]) -> int:
             stdout.write(
                 json.dumps(
                     {
-                        "error": (
-                            f"request of {line_bytes} bytes exceeds the "
-                            f"serving byte limit {byte_limit} "
-                            f"(ServeSpec.max_batch={server.spec.max_batch})"
-                        )
+                        "error": {
+                            "code": "payload_too_large",
+                            "message": (
+                                f"request of {line_bytes} bytes exceeds the "
+                                f"serving byte limit {byte_limit} "
+                                f"(ServeSpec.max_batch={server.spec.max_batch})"
+                            ),
+                        }
                     }
                 )
                 + "\n"
@@ -159,10 +225,9 @@ def serve_ndjson(server, stdin: IO[str], stdout: IO[str]) -> int:
             if isinstance(payload, dict):
                 request_id = payload.get("id")
             response = handle_request(server, payload)
-        except json.JSONDecodeError as exc:
-            response = {"error": f"invalid JSON: {exc}"}
-        except (ReproError, ValueError, TypeError) as exc:
-            response = {"error": str(exc)}
+        except (json.JSONDecodeError, ReproError, ValueError, TypeError) as exc:
+            _, error = error_descriptor(exc)
+            response = {"error": error}
             if request_id is not None:
                 response["id"] = request_id
         stdout.write(json.dumps(response) + "\n")
@@ -177,13 +242,28 @@ class _ServeHandler(BaseHTTPRequestHandler):
     # Set by make_http_server on the handler subclass.
     model_server = None
 
-    def _reply(self, status: int, body: dict) -> None:
+    def _reply(
+        self, status: int, body: dict, headers: dict | None = None
+    ) -> None:
         encoded = (json.dumps(body) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(encoded)
+
+    def _reply_error(self, exc: BaseException) -> None:
+        """One exception → status + structured body + backoff headers."""
+        status, error = error_descriptor(exc)
+        headers = {}
+        if status in (429, 503):
+            # Retry-After must be a whole number of seconds; round the
+            # estimate up so clients never come back early.
+            retry_after_s = error.get("retry_after_s", 1.0)
+            headers["Retry-After"] = str(max(1, int(-(-retry_after_s // 1))))
+        self._reply(status, {"error": error}, headers)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/health":
@@ -194,10 +274,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 self._reply(
                     404,
                     {
-                        "error": (
-                            "metrics are disabled on this server "
-                            "(ServeSpec.emit_metrics=False)"
-                        )
+                        "error": {
+                            "code": "invalid_request",
+                            "message": (
+                                "metrics are disabled on this server "
+                                "(ServeSpec.emit_metrics=False)"
+                            ),
+                        }
                     },
                 )
                 return
@@ -210,11 +293,27 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self.end_headers()
             self.wfile.write(body)
             return
-        self._reply(404, {"error": f"no such path {self.path!r}"})
+        self._reply(
+            404,
+            {
+                "error": {
+                    "code": "invalid_request",
+                    "message": f"no such path {self.path!r}",
+                }
+            },
+        )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path != "/predict":
-            self._reply(404, {"error": f"no such path {self.path!r}"})
+            self._reply(
+                404,
+                {
+                    "error": {
+                        "code": "invalid_request",
+                        "message": f"no such path {self.path!r}",
+                    }
+                },
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
@@ -225,20 +324,22 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 self._reply(
                     413,
                     {
-                        "error": (
-                            f"request of {length} bytes exceeds the serving "
-                            f"byte limit {byte_limit} (ServeSpec.max_batch="
-                            f"{self.model_server.spec.max_batch})"
-                        )
+                        "error": {
+                            "code": "payload_too_large",
+                            "message": (
+                                f"request of {length} bytes exceeds the "
+                                f"serving byte limit {byte_limit} "
+                                "(ServeSpec.max_batch="
+                                f"{self.model_server.spec.max_batch})"
+                            ),
+                        }
                     },
                 )
                 return
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
             self._reply(200, handle_request(self.model_server, payload))
-        except json.JSONDecodeError as exc:
-            self._reply(400, {"error": f"invalid JSON: {exc}"})
-        except (ReproError, ValueError, TypeError) as exc:
-            self._reply(400, {"error": str(exc)})
+        except (json.JSONDecodeError, ReproError, ValueError, TypeError) as exc:
+            self._reply_error(exc)
 
     def log_message(self, *args) -> None:  # pragma: no cover - silence
         pass

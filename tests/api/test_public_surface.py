@@ -15,6 +15,7 @@ import repro
 from repro.api import (
     EngineSpec,
     LSHSpec,
+    ResilienceSpec,
     ServeSpec,
     StreamSpec,
     TrainSpec,
@@ -30,7 +31,14 @@ def current_surface() -> dict:
         "estimators": sorted(available_estimators()),
         "spec_fields": {
             cls.__name__: [f.name for f in dataclasses.fields(cls)]
-            for cls in (LSHSpec, EngineSpec, TrainSpec, ServeSpec, StreamSpec)
+            for cls in (
+                LSHSpec,
+                EngineSpec,
+                TrainSpec,
+                ServeSpec,
+                StreamSpec,
+                ResilienceSpec,
+            )
         },
     }
 

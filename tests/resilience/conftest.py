@@ -1,0 +1,39 @@
+"""Shared fixtures for the resilience/chaos suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mh_kmodes import MHKModes
+from repro.data.datgen import RuleBasedGenerator
+from repro.resilience import active_faults, clear_faults
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan_leaks():
+    """Every test starts and ends with no fault plan armed.
+
+    A leaked plan would silently wrap every later pool dispatch in the
+    process — fail loudly instead.
+    """
+    assert active_faults() is None, "a previous test leaked a fault plan"
+    yield
+    leaked = active_faults() is not None
+    clear_faults()
+    assert not leaked, "this test leaked a fault plan"
+
+
+@pytest.fixture(scope="module")
+def served_artifact():
+    """A small fitted artifact plus its training matrix.
+
+    Module-scoped: chaos tests build many short-lived servers over the
+    same model, and the fit is the expensive part.
+    """
+    data = RuleBasedGenerator(
+        n_clusters=6, n_attributes=8, domain_size=60, seed=11
+    ).generate(240)
+    estimator = MHKModes(
+        n_clusters=6, lsh={"bands": 6, "rows": 2, "seed": 3}
+    ).fit(data.X)
+    return estimator.fitted_model(), data.X

@@ -1,0 +1,111 @@
+"""Fault injection: plans, the armed state, and the kernel wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.resilience import (
+    FaultPlan,
+    InjectedPoolFault,
+    active_faults,
+    clear_faults,
+    faulted_kernel,
+    inject_faults,
+    install_faults,
+)
+
+
+class TestFaultPlan:
+    def test_defaults_are_a_no_op_plan(self):
+        plan = FaultPlan()
+        assert plan.kill_on_chunks == ()
+        assert plan.drop_on_chunks == ()
+        assert plan.delay_s == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kill_on_chunks": [2]},        # list, not tuple
+            {"kill_on_chunks": (0,)},       # chunks are 1-based
+            {"drop_on_chunks": (-3,)},
+            {"drop_on_chunks": ("2",)},
+            {"delay_s": -0.5},
+        ],
+    )
+    def test_bad_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        # The pool must treat it like infrastructure failure, which the
+        # serving error paths never catch as a caller mistake.
+        assert not issubclass(InjectedPoolFault, ReproError)
+
+
+class TestInstallClear:
+    def test_install_arms_and_clear_disarms(self):
+        assert active_faults() is None
+        state = install_faults(FaultPlan(delay_s=0.0))
+        assert active_faults() is state
+        clear_faults()
+        assert active_faults() is None
+
+    def test_plans_do_not_nest(self):
+        install_faults(FaultPlan())
+        try:
+            with pytest.raises(ConfigurationError, match="already installed"):
+                install_faults(FaultPlan())
+        finally:
+            clear_faults()
+
+    def test_clear_is_idempotent(self):
+        clear_faults()
+        clear_faults()
+        assert active_faults() is None
+
+    def test_context_manager_disarms_on_error(self):
+        with pytest.raises(RuntimeError, match="test body failed"):
+            with inject_faults(FaultPlan()):
+                raise RuntimeError("test body failed")
+        assert active_faults() is None
+
+
+def _record(static, dynamic, task):
+    return (static, dynamic, task)
+
+
+class TestFaultState:
+    def test_counter_counts_every_kernel_call(self):
+        with inject_faults(FaultPlan()) as state:
+            assert state.chunks_seen == 0
+            for expected in (1, 2, 3):
+                state.on_chunk()
+                assert state.chunks_seen == expected
+
+    def test_drop_fires_on_exactly_the_scheduled_chunks(self):
+        with inject_faults(FaultPlan(drop_on_chunks=(2, 4))) as state:
+            state.on_chunk()  # chunk 1: clean
+            with pytest.raises(InjectedPoolFault, match="chunk 2"):
+                state.on_chunk()
+            state.on_chunk()  # chunk 3: clean again
+            with pytest.raises(InjectedPoolFault, match="chunk 4"):
+                state.on_chunk()
+            assert state.chunks_seen == 4
+
+
+class TestFaultedKernel:
+    def test_passes_through_to_the_real_kernel(self):
+        with inject_faults(FaultPlan()) as state:
+            result = faulted_kernel("S", "D", (_record, "task-1"))
+        assert result == ("S", "D", "task-1")
+        assert state.chunks_seen == 1
+
+    def test_armed_drop_raises_instead_of_calling_through(self):
+        with inject_faults(FaultPlan(drop_on_chunks=(1,))):
+            with pytest.raises(InjectedPoolFault):
+                faulted_kernel(None, None, (_record, "never-runs"))
+
+    def test_without_a_plan_it_is_a_plain_dispatch(self):
+        assert active_faults() is None
+        assert faulted_kernel("S", None, (_record, 7)) == ("S", None, 7)

@@ -1,0 +1,325 @@
+"""AdmissionQueue: coalescing, backpressure, deadlines, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServerClosedError,
+)
+from repro.obs import MetricsRegistry
+from repro.resilience import AdmissionQueue
+
+
+def _first_column(X: np.ndarray) -> np.ndarray:
+    """Toy 'predict': each row's label is its first cell — per-row, so
+    any concatenate/split scheme that preserves rows returns exactly
+    the submitter's own column back."""
+    return X[:, 0].copy()
+
+
+class _GatedExecute:
+    """An execute hook the test can hold closed, then release.
+
+    Holding the gate keeps one wave in flight, which is how the tests
+    deterministically build up queue depth behind it.
+    """
+
+    def __init__(self, fail_after_first: type[BaseException] | None = None):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+        self.calls: list[np.ndarray] = []
+        self._fail_after_first = fail_after_first
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        self.calls.append(np.array(X, copy=True))
+        self.entered.set()
+        assert self.release.wait(timeout=10), "test never released the gate"
+        if self._fail_after_first is not None and len(self.calls) == 2:
+            raise self._fail_after_first("wave failed")
+        return _first_column(X)
+
+
+def _matrix(fill: int, rows: int = 2) -> np.ndarray:
+    return np.full((rows, 3), fill, dtype=np.int64)
+
+
+def _submit_in_thread(queue, X):
+    """Run ``queue.submit`` in a thread; returns (thread, outcome box)."""
+    box: dict = {}
+
+    def run():
+        try:
+            box["labels"] = queue.submit(X)
+        except BaseException as exc:  # noqa: BLE001 - outcome under test
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def _wait_for_depth(queue, depth: int, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while queue.depth < depth:
+        assert time.monotonic() < deadline, (
+            f"queue never reached depth {depth} (at {queue.depth})"
+        )
+        time.sleep(0.002)
+
+
+class TestHappyPath:
+    def test_single_request_round_trips(self):
+        queue = AdmissionQueue(
+            _first_column, max_queue_depth=4, max_in_flight=1, max_wave_rows=64
+        )
+        try:
+            labels = queue.submit(_matrix(7))
+            assert labels.tolist() == [7, 7]
+        finally:
+            queue.close()
+
+    def test_concurrent_requests_coalesce_into_one_wave(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute, max_queue_depth=16, max_in_flight=1, max_wave_rows=64
+        )
+        try:
+            # Wave 1 (a single request) holds the lone dispatcher...
+            blocker_thread, blocker = _submit_in_thread(queue, _matrix(99))
+            assert execute.entered.wait(5)
+            # ...while three more requests pile up behind it.
+            waiters = [_submit_in_thread(queue, _matrix(fill)) for fill in (1, 2, 3)]
+            _wait_for_depth(queue, 3)
+            execute.release.set()
+            blocker_thread.join(timeout=10)
+            for thread, _ in waiters:
+                thread.join(timeout=10)
+            # All three coalesced into a single second wave...
+            assert len(execute.calls) == 2
+            assert execute.calls[1].shape == (6, 3)
+            # ...and the split handed each submitter its own rows back.
+            assert blocker["labels"].tolist() == [99, 99]
+            for (_, box), fill in zip(waiters, (1, 2, 3)):
+                assert box["labels"].tolist() == [fill, fill]
+        finally:
+            execute.release.set()
+            queue.close()
+
+    def test_wave_rows_cap_limits_coalescing(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute, max_queue_depth=16, max_in_flight=1, max_wave_rows=4
+        )
+        try:
+            blocker_thread, _ = _submit_in_thread(queue, _matrix(9))
+            assert execute.entered.wait(5)
+            waiters = [_submit_in_thread(queue, _matrix(fill)) for fill in (1, 2, 3)]
+            _wait_for_depth(queue, 3)
+            execute.release.set()
+            blocker_thread.join(timeout=10)
+            for thread, _ in waiters:
+                thread.join(timeout=10)
+            # 3 × 2-row requests under a 4-row cap → two waves, not one.
+            assert len(execute.calls) == 3
+            assert max(call.shape[0] for call in execute.calls[1:]) <= 4
+        finally:
+            execute.release.set()
+            queue.close()
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_immediately_with_retry_hint(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute, max_queue_depth=2, max_in_flight=1, max_wave_rows=64
+        )
+        try:
+            blocker_thread, _ = _submit_in_thread(queue, _matrix(9))
+            assert execute.entered.wait(5)
+            waiters = [_submit_in_thread(queue, _matrix(fill)) for fill in (1, 2)]
+            _wait_for_depth(queue, 2)
+            started = time.monotonic()
+            with pytest.raises(OverloadedError) as excinfo:
+                queue.submit(_matrix(3))
+            assert time.monotonic() - started < 1.0  # reject, don't hang
+            assert 0.05 <= excinfo.value.retry_after_s <= 30.0
+            execute.release.set()
+            blocker_thread.join(timeout=10)
+            for thread, box in waiters:
+                thread.join(timeout=10)
+                assert "labels" in box
+        finally:
+            execute.release.set()
+            queue.close()
+
+    def test_retry_after_estimate_is_clamped(self):
+        queue = AdmissionQueue(
+            _first_column, max_queue_depth=1, max_in_flight=1, max_wave_rows=8
+        )
+        try:
+            assert 0.05 <= queue.retry_after_s() <= 30.0
+        finally:
+            queue.close()
+
+
+class TestDeadlines:
+    def test_deadline_expires_while_wave_is_stuck(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute, max_queue_depth=8, max_in_flight=1, max_wave_rows=64
+        )
+        try:
+            blocker_thread, blocker = _submit_in_thread(queue, _matrix(9))
+            assert execute.entered.wait(5)
+            with pytest.raises(DeadlineExceededError):
+                queue.submit(_matrix(1), deadline_s=0.05)
+            execute.release.set()
+            blocker_thread.join(timeout=10)
+            assert blocker["labels"].tolist() == [9, 9]
+            # The expired request was abandoned: the dispatcher answers
+            # it without ever running a wave for it.
+            time.sleep(0.05)
+            assert len(execute.calls) == 1
+        finally:
+            execute.release.set()
+            queue.close()
+
+    def test_configured_deadline_applies_without_an_override(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute,
+            max_queue_depth=8,
+            max_in_flight=1,
+            max_wave_rows=64,
+            deadline_ms=50,
+        )
+        try:
+            blocker_thread, _ = _submit_in_thread(queue, _matrix(9))
+            assert execute.entered.wait(5)
+            with pytest.raises(DeadlineExceededError, match="50ms"):
+                queue.submit(_matrix(1))
+            execute.release.set()
+            blocker_thread.join(timeout=10)
+        finally:
+            execute.release.set()
+            queue.close()
+
+
+class TestFailureFanOut:
+    def test_wave_error_reaches_every_member(self):
+        execute = _GatedExecute(fail_after_first=RuntimeError)
+        queue = AdmissionQueue(
+            execute, max_queue_depth=8, max_in_flight=1, max_wave_rows=64
+        )
+        try:
+            blocker_thread, blocker = _submit_in_thread(queue, _matrix(9))
+            assert execute.entered.wait(5)
+            waiters = [_submit_in_thread(queue, _matrix(fill)) for fill in (1, 2)]
+            _wait_for_depth(queue, 2)
+            execute.release.set()
+            blocker_thread.join(timeout=10)
+            assert blocker["labels"].tolist() == [9, 9]  # wave 1 was fine
+            for thread, box in waiters:
+                thread.join(timeout=10)
+                assert isinstance(box["error"], RuntimeError)
+            # A failed wave does not poison the queue.
+            assert queue.submit(_matrix(5)).tolist() == [5, 5]
+        finally:
+            execute.release.set()
+            queue.close()
+
+
+class TestShutdown:
+    def test_closed_queue_refuses_new_work(self):
+        queue = AdmissionQueue(
+            _first_column, max_queue_depth=4, max_in_flight=1, max_wave_rows=8
+        )
+        queue.close()
+        assert queue.closed
+        with pytest.raises(ServerClosedError, match="shutting down"):
+            queue.submit(_matrix(1))
+
+    def test_drain_answers_whatever_is_queued(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute, max_queue_depth=8, max_in_flight=1, max_wave_rows=64
+        )
+        blocker_thread, blocker = _submit_in_thread(queue, _matrix(9))
+        assert execute.entered.wait(5)
+        waiter_thread, waiter = _submit_in_thread(queue, _matrix(4))
+        _wait_for_depth(queue, 1)
+        execute.release.set()
+        queue.close(drain=True, timeout=10)
+        blocker_thread.join(timeout=10)
+        waiter_thread.join(timeout=10)
+        assert blocker["labels"].tolist() == [9, 9]
+        assert waiter["labels"].tolist() == [4, 4]
+
+    def test_no_drain_rejects_queued_requests(self):
+        execute = _GatedExecute()
+        queue = AdmissionQueue(
+            execute, max_queue_depth=8, max_in_flight=1, max_wave_rows=64
+        )
+        blocker_thread, blocker = _submit_in_thread(queue, _matrix(9))
+        assert execute.entered.wait(5)
+        waiter_thread, waiter = _submit_in_thread(queue, _matrix(4))
+        _wait_for_depth(queue, 1)
+        closer = threading.Thread(
+            target=lambda: queue.close(drain=False), daemon=True
+        )
+        closer.start()
+        # The queued request is rejected even while a wave is stuck.
+        waiter_thread.join(timeout=10)
+        assert isinstance(waiter["error"], ServerClosedError)
+        execute.release.set()
+        blocker_thread.join(timeout=10)
+        closer.join(timeout=10)
+        # The in-flight wave still completed for its submitter.
+        assert blocker["labels"].tolist() == [9, 9]
+
+    def test_close_is_idempotent(self):
+        queue = AdmissionQueue(
+            _first_column, max_queue_depth=4, max_in_flight=2, max_wave_rows=8
+        )
+        queue.close()
+        queue.close()
+        assert queue.closed
+
+
+class TestMetrics:
+    def test_instruments_registered_eagerly_and_recorded(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(
+            _first_column,
+            max_queue_depth=1,
+            max_in_flight=1,
+            max_wave_rows=8,
+            registry=registry,
+        )
+        try:
+            # Eager registration: every family scrapes at zero before
+            # any traffic.
+            for reason in ("queue_full", "deadline", "closed"):
+                counter = registry.counter(
+                    "repro_queue_rejections_total", labels={"reason": reason}
+                )
+                assert counter.value == 0.0
+            queue.submit(_matrix(3))
+            assert registry.counter("repro_waves_total").value == 1.0
+        finally:
+            queue.close()
+        with pytest.raises(ServerClosedError):
+            queue.submit(_matrix(1))
+        assert (
+            registry.counter(
+                "repro_queue_rejections_total", labels={"reason": "closed"}
+            ).value
+            == 1.0
+        )

@@ -1,0 +1,151 @@
+"""RetryPolicy: the capped-backoff value object and its retry loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import RetryPolicy, compute_backoff_s, retry_call
+
+
+class TestComputeBackoff:
+    def test_doubles_from_base_and_saturates_at_cap(self):
+        delays = [compute_backoff_s(a, 50, 1000) for a in range(1, 7)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def test_cap_below_base_is_the_cap_everywhere(self):
+        # The policy constructor rejects this shape; the raw helper
+        # just clamps, which is what the clamp-after-jitter rule needs.
+        assert compute_backoff_s(1, 500, 100) == pytest.approx(0.1)
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ConfigurationError, match="1-based"):
+            compute_backoff_s(0, 50, 1000)
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.backoff_ms == 50.0
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"max_retries": -1}, "max_retries"),
+            ({"max_retries": 1.5}, "max_retries"),
+            ({"backoff_ms": -1.0}, "backoff_ms"),
+            ({"backoff_max_ms": -1.0}, "backoff_max_ms"),
+            ({"backoff_ms": 500.0, "backoff_max_ms": 100.0}, "cannot undercut"),
+            ({"jitter": 1.5}, "jitter"),
+            ({"jitter": -0.1}, "jitter"),
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_seed_does_not_affect_equality(self):
+        assert RetryPolicy(seed=1) == RetryPolicy(seed=2)
+
+
+class TestSchedule:
+    def test_zero_jitter_replays_the_exact_doubling(self):
+        policy = RetryPolicy(backoff_ms=50, backoff_max_ms=1000, jitter=0.0)
+        schedule = policy.schedule()
+        assert [next(schedule) for _ in range(6)] == [
+            0.05, 0.1, 0.2, 0.4, 0.8, 1.0,
+        ]
+
+    def test_seeded_schedules_are_reproducible(self):
+        policy = RetryPolicy(jitter=0.5, seed=123)
+        first = [next(policy.schedule()) for _ in range(1)]
+        a = policy.schedule()
+        b = policy.schedule()
+        draws_a = [next(a) for _ in range(8)]
+        draws_b = [next(b) for _ in range(8)]
+        assert draws_a == draws_b
+        assert first[0] == draws_a[0]
+
+    def test_jittered_delays_never_exceed_the_cap(self):
+        policy = RetryPolicy(
+            backoff_ms=900, backoff_max_ms=1000, jitter=1.0, seed=7
+        )
+        schedule = policy.schedule()
+        for _ in range(32):
+            assert next(schedule) <= 1.0
+
+
+class TestRetryCall:
+    def test_first_try_success_never_sleeps(self):
+        sleeps = []
+        result = retry_call(
+            lambda: "ok",
+            RetryPolicy(jitter=0.0),
+            retry_on=(RuntimeError,),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert sleeps == []
+
+    def test_retries_then_succeeds_with_backoff_and_callback(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError(f"boom {attempts['n']}")
+            return attempts["n"]
+
+        sleeps, observed = [], []
+        result = retry_call(
+            flaky,
+            RetryPolicy(max_retries=4, backoff_ms=50, jitter=0.0),
+            retry_on=(RuntimeError,),
+            on_retry=lambda a, e, d: observed.append((a, str(e), d)),
+            sleep=sleeps.append,
+        )
+        assert result == 3
+        assert sleeps == [0.05, 0.1]
+        assert observed == [(1, "boom 1", 0.05), (2, "boom 2", 0.1)]
+
+    def test_exhaustion_reraises_the_last_error(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise RuntimeError(f"fail {calls['n']}")
+
+        with pytest.raises(RuntimeError, match="fail 3"):
+            retry_call(
+                always_fails,
+                RetryPolicy(max_retries=2, jitter=0.0),
+                retry_on=(RuntimeError,),
+                sleep=lambda _s: None,
+            )
+        assert calls["n"] == 3  # first attempt + 2 retries
+
+    def test_unmatched_exceptions_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError, match="not retryable"):
+            retry_call(
+                wrong_kind,
+                RetryPolicy(max_retries=5, jitter=0.0),
+                retry_on=(RuntimeError,),
+                sleep=lambda _s: None,
+            )
+        assert calls["n"] == 1
+
+    def test_zero_retries_means_one_attempt(self):
+        with pytest.raises(RuntimeError):
+            retry_call(
+                lambda: (_ for _ in ()).throw(RuntimeError("once")),
+                RetryPolicy(max_retries=0),
+                retry_on=(RuntimeError,),
+                sleep=lambda _s: None,
+            )

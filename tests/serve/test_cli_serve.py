@@ -109,10 +109,13 @@ class TestNDJSONSubprocess:
         assert completed.returncode == 0, completed.stderr
         responses = [json.loads(line) for line in completed.stdout.splitlines()]
         assert len(responses) == 5
-        assert "invalid JSON" in responses[0]["error"]
-        assert responses[1] == {"error": "request object needs an 'items' matrix", "id": 1}
+        assert responses[0]["error"]["code"] == "invalid_json"
+        assert responses[1]["id"] == 1
+        assert responses[1]["error"]["code"] == "invalid_request"
+        assert "'items' matrix" in responses[1]["error"]["message"]
         assert responses[2]["labels"] == artifact.predict(X[:3]).tolist()
-        assert "JSON object" in responses[3]["error"]
+        assert responses[3]["error"]["code"] == "invalid_request"
+        assert "JSON object" in responses[3]["error"]["message"]
         assert responses[4] == {"id": 4, "labels": [], "count": 0}
 
 
@@ -196,7 +199,8 @@ class TestServicePlumbing:
             stdout = io.StringIO()
             assert serve_ndjson(small, io.StringIO(huge + "\n" + good + "\n"), stdout) == 2
             first, second = [json.loads(l) for l in stdout.getvalue().splitlines()]
-            assert "byte limit" in first["error"]
+            assert first["error"]["code"] == "payload_too_large"
+            assert "byte limit" in first["error"]["message"]
             assert second["labels"] == artifact.predict(X[:1]).tolist()
 
     def test_oversized_http_body_gets_413(self, served):
@@ -244,9 +248,10 @@ class TestServicePlumbing:
         assert serve_ndjson(server, stdin, stdout) == 4
         responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
         assert responses[0]["labels"] == artifact.predict(X[:4]).tolist()
-        assert "invalid JSON" in responses[1]["error"]
+        assert responses[1]["error"]["code"] == "invalid_json"
         assert len(responses[2]["distances"]) == 2
-        assert responses[3]["id"] == 3 and "items" in responses[3]["error"]
+        assert responses[3]["id"] == 3
+        assert "items" in responses[3]["error"]["message"]
 
     def test_http_in_process_round_trip(self, served, server):
         import threading
