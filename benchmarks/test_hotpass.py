@@ -33,6 +33,7 @@ from repro.core.mh_kmodes import MHKModes
 from repro.core.shortlist import ShortlistAccumulator, apply_fallback
 from repro.data.datgen import RuleBasedGenerator
 from repro.engine.parallel import _assignment_chunk, _pass_neighbour_csr
+from repro.kernels import active_backend
 
 N_ITEMS = 20_000
 N_CLUSTERS = 800
@@ -140,6 +141,7 @@ def test_vectorised_pass_speedup(fitted):
             "rows": 5,
             "seed": SEED,
             "algorithm": "MH-K-Modes",
+            "kernels": active_backend(),
         },
         "assignment_pass": {
             "per_item_s": round(per_item_s, 6),

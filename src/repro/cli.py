@@ -504,11 +504,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"dataset   : {dataset.describe()}")
     print(f"algorithm : {model.stats_.algorithm}")
     if args.algorithm == "mh-kmodes":
+        from repro.kernels import active_backend
+
         jobs = engine.n_jobs if engine.n_jobs is not None else "auto"
         print(
             f"engine    : backend={engine.backend} jobs={jobs} "
             f"update_refs={model.update_refs}"
         )
+        print(f"kernels   : {active_backend()}")
     print(f"iterations: {model.n_iter_} (converged={model.converged_})")
     print(f"setup     : {model.stats_.setup_s:.3f}s")
     if model.stats_.phase_s:
@@ -575,12 +578,15 @@ def _cmd_extend(args: argparse.Namespace) -> int:
         absent_code=args.absent_code,
         refresh_interval=args.refresh_interval,
     )
+    from repro.kernels import active_backend
+
     print(f"dataset   : {dataset.describe()}")
     print(
         f"stream    : backend={stream_spec.backend} "
         f"jobs={stream_spec.n_jobs if stream_spec.n_jobs is not None else 'auto'} "
         f"chunk={stream_spec.chunk_items} refresh={args.refresh_interval}"
     )
+    print(f"kernels   : {active_backend()}")
     with estimator:
         with Timer() as boot_timer:
             estimator.bootstrap(dataset.X[:split])

@@ -42,6 +42,7 @@ import abc
 
 import numpy as np
 
+from repro import kernels
 from repro.api.legacy import resolve_specs
 from repro.api.model import ClusterModel
 from repro.api.protocol import EstimatorProtocol, SpecAttributeSurface
@@ -439,7 +440,9 @@ class BaseLSHAcceleratedClustering(SpecAttributeSurface, EstimatorProtocol, abc.
                     labels, _ = session.exhaustive_assign(
                         centroids, np.full(n, -1, dtype=np.int64)
                     )
-                with phases.span("signatures"):
+                with phases.span(
+                    "signatures", kernels=kernels.active_backend()
+                ):
                     signatures = session.compute_signatures()
                 with phases.span("index_build"):
                     index = session.build_index(signatures, labels)

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.api.legacy import resolve_specs
 from repro.api.model import ClusterModel
 from repro.api.protocol import EstimatorProtocol, SpecAttributeSurface
@@ -367,10 +368,12 @@ class ClusterModeTracker:
         m = self.n_attributes
         if self._accommodate(values):
             assert self._dense is not None
-            np.add.at(
-                self._dense,
-                (labels[:, None], self._attr_idx[None, :], values),
-                1,
+            # Scatter-add the batch into the count tensor and gather
+            # each triple's final count (repro.kernels: compiled when a
+            # backend is available, np.add.at + fancy-gather otherwise;
+            # integer adds commute, so every backend is bit-identical).
+            new_counts = kernels.count_update(
+                self._dense, np.ascontiguousarray(values), labels
             )
             # gathered after the scatter-add, every occurrence of a
             # triple reads the same final count
@@ -378,9 +381,7 @@ class ClusterModeTracker:
                 np.repeat(labels, m),
                 np.tile(self._attr_idx, len(labels)),
                 values.reshape(-1),
-                self._dense[
-                    labels[:, None], self._attr_idx[None, :], values
-                ].reshape(-1),
+                new_counts.reshape(-1),
             )
         else:
             assert self._counts is not None
@@ -763,8 +764,9 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
         backends — one batched shortlist query, the vectorised
         assignment kernel, an ordered collision walk for rows that
         share a band key within the chunk, one amortised
-        ``insert_batch`` and one ``np.add.at`` count update per
-        processing segment.  Segments are bounded by
+        ``insert_batch`` and one batched count update (compiled via
+        :mod:`repro.kernels` on the dense tier) per processing
+        segment.  Segments are bounded by
         ``stream.chunk_items`` *and* by the next mode-refresh boundary,
         so labels and refreshed modes are bit-identical to calling
         :meth:`push` on every row in order — for any chunk size and
@@ -800,7 +802,7 @@ class StreamingMHKModes(SpecAttributeSurface, EstimatorProtocol):
                 f"X must hold integer category codes, got dtype {X.dtype}"
             )
         X = np.ascontiguousarray(X, dtype=np.int64)
-        with phases.span("signatures", rows=n):
+        with phases.span("signatures", rows=n, kernels=kernels.active_backend()):
             signatures = self._batch_signatures(X)
 
         labels = np.empty(n, dtype=np.int64)

@@ -1,0 +1,98 @@
+"""Pure-NumPy kernel implementations — the always-available fallback.
+
+These are the exact vectorised code paths that used to live inline in
+:meth:`repro.lsh.minhash.MinHasher.signatures` and
+:meth:`repro.core.streaming.ClusterModeTracker.add_batch`; the
+compiled backends are conformance-tested bit-for-bit against them
+(``tests/kernels/test_conformance.py``), and the property suites pin
+both to the sequential reference semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minhash_signatures", "count_update"]
+
+#: The Mersenne prime modulus shared with ``repro.lsh.hashing``
+#: (duplicated here so the kernels layer has no import cycle with lsh).
+_P31 = (1 << 31) - 1
+
+
+def _reduce31(y: np.ndarray) -> np.ndarray:
+    """Exact ``y % (2**31 - 1)`` for ``0 <= y < 2**62`` via shifts.
+
+    The same two-fold-plus-subtract sequence as
+    :meth:`repro.lsh.hashing.UniversalHashFamily._reduce`.
+    """
+    y = (y & _P31) + (y >> 31)
+    y = (y & _P31) + (y >> 31)
+    return y - (y >= _P31) * _P31
+
+
+def minhash_signatures(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    empty_slot: int,
+) -> np.ndarray:
+    """Ragged CSR MinHash: one ``minimum.reduceat`` pass per hash.
+
+    Parameters
+    ----------
+    indices, indptr:
+        The CSR token stream (``repro.lsh.tokens.TokenSets`` layout).
+        Tokens must already be validated into ``[0, 2**31 - 1)``.
+    a, b:
+        Universal-hash coefficient vectors, one entry per hash.
+    empty_slot:
+        Sentinel written to every slot of an empty row.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_rows, n_hashes)`` int64 signature matrix.
+    """
+    n = len(indptr) - 1
+    n_hashes = len(a)
+    out = np.full((n, n_hashes), empty_slot, dtype=np.int64)
+    if n == 0 or len(indices) == 0:
+        return out
+    lengths = np.diff(indptr)
+    non_empty = lengths > 0
+    # ``reduceat`` cannot express empty segments, so reduce only the
+    # non-empty rows and scatter the results back.
+    starts = indptr[:-1][non_empty]
+    for i in range(n_hashes):
+        hashed = _reduce31(a[i] * indices + b[i])
+        out[non_empty, i] = np.minimum.reduceat(hashed, starts)
+    return out
+
+
+def count_update(
+    dense: np.ndarray, values: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Scatter a batch into the count tensor; gather the final counts.
+
+    Parameters
+    ----------
+    dense:
+        The ``(n_clusters, n_attributes, capacity)`` int64 count
+        tensor, updated in place.
+    values:
+        ``(n_rows, n_attributes)`` int64 category codes, all within
+        ``[0, capacity)``.
+    labels:
+        ``(n_rows,)`` int64 cluster assignments.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_rows, n_attributes)`` int64 — each updated triple's count
+        *after* the whole batch landed (every occurrence of a triple
+        reads the same final value).
+    """
+    attr_idx = np.arange(dense.shape[1], dtype=np.int64)
+    np.add.at(dense, (labels[:, None], attr_idx[None, :], values), 1)
+    return dense[labels[:, None], attr_idx[None, :], values]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ConfigurationError, DataValidationError
 from repro.lsh.hashing import MERSENNE_PRIME_31, UniversalHashFamily
 from repro.lsh.tokens import TokenSets
@@ -104,20 +105,21 @@ class MinHasher:
             ``(n_items, n_hashes)`` int64 signature matrix.
         """
         n = len(token_sets)
-        out = np.full((n, self.n_hashes), EMPTY_SLOT, dtype=np.int64)
         if n == 0 or token_sets.n_tokens == 0:
-            return out
+            return np.full((n, self.n_hashes), EMPTY_SLOT, dtype=np.int64)
         self._check_token_range(token_sets.indices)
-        lengths = token_sets.lengths
-        non_empty = lengths > 0
-        # ``reduceat`` cannot express empty segments, so reduce only the
-        # non-empty rows and scatter the results back.
-        starts = token_sets.indptr[:-1][non_empty]
-        tokens = token_sets.indices
-        for i in range(self.n_hashes):
-            hashed = self._family.hash_with(i, tokens)
-            out[non_empty, i] = np.minimum.reduceat(hashed, starts)
-        return out
+        # The hot path lives in repro.kernels (compiled when a backend
+        # is available, the vectorised reduceat fallback otherwise);
+        # every backend is bit-identical to the per-hash
+        # ``hash_with`` + ``minimum.reduceat`` formulation this method
+        # used to inline.
+        return kernels.minhash_signatures(
+            token_sets.indices,
+            token_sets.indptr,
+            self._family._a,
+            self._family._b,
+            EMPTY_SLOT,
+        )
 
     def signatures_categorical(
         self,

@@ -208,6 +208,10 @@ class Histogram(_Instrument):
         rank (the standard Prometheus ``histogram_quantile`` scheme);
         observations beyond the last finite bound clamp to it.  An
         empty histogram estimates 0.0.
+
+        The first bucket's span starts at 0.0 only when its bound is
+        positive (latency-style histograms); a non-positive first bound
+        estimates the bound itself, never a value above it.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
@@ -218,7 +222,7 @@ class Histogram(_Instrument):
             return 0.0
         rank = q * total
         cumulative = 0
-        lower = 0.0
+        lower = min(0.0, self.buckets[0])
         for upper, count in zip(self.buckets, counts):
             if count and cumulative + count >= rank:
                 fraction = max(rank - cumulative, 0.0) / count

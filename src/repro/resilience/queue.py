@@ -57,6 +57,14 @@ REJECTION_REASONS = ("queue_full", "deadline", "closed")
 _MIN_RETRY_AFTER_S = 0.05
 _MAX_RETRY_AFTER_S = 30.0
 
+#: Cold-start value of the wave-latency EWMA, and the resting point the
+#: estimate decays back to while the server sits idle.
+_EWMA_SEED_WAVE_S = 0.1
+
+#: Half-life of that idle decay: every this-many idle seconds the
+#: EWMA's distance from the seed halves.
+_RETRY_DECAY_HALFLIFE_S = 5.0
+
 
 class _Pending:
     """One queued request: its matrix, its deadline, its outcome."""
@@ -134,7 +142,8 @@ class AdmissionQueue:
         self._cond = threading.Condition()
         self._closed = False
         self._busy = 0  # waves currently executing
-        self._ewma_wave_s = 0.1  # seeds the Retry-After estimate
+        self._ewma_wave_s = _EWMA_SEED_WAVE_S  # seeds the Retry-After estimate
+        self._last_wave_at = clock()  # anchors the idle decay
         if registry is not None:
             self._init_instruments()
         self._threads = [
@@ -189,6 +198,7 @@ class AdmissionQueue:
         # EWMA of wave latency feeds the Retry-After estimate; cheap
         # and lock-free (a stale read only skews a hint).
         self._ewma_wave_s = 0.8 * self._ewma_wave_s + 0.2 * elapsed_s
+        self._last_wave_at = self._clock()
         if self._registry is None:
             return
         from repro.obs import DEFAULT_SIZE_BUCKETS
@@ -219,7 +229,22 @@ class AdmissionQueue:
         Current backlog times recent wave latency, spread across the
         dispatchers — clamped to a sane range so a cold or quiet
         server never advertises silly values.
+
+        The wave-latency EWMA only moves when waves complete, so after
+        a congested burst a naive estimate would keep advertising the
+        burst's latency while the server sits empty.  Once the queue
+        has drained and nothing is in flight, the EWMA decays toward
+        its seed with half-life :data:`_RETRY_DECAY_HALFLIFE_S`, so
+        the hint shrinks the longer the server has been quiet.
         """
+        now = self._clock()
+        if not self._queue and self._busy == 0:
+            idle = now - self._last_wave_at
+            if idle > 0.0:
+                self._ewma_wave_s = _EWMA_SEED_WAVE_S + (
+                    self._ewma_wave_s - _EWMA_SEED_WAVE_S
+                ) * 0.5 ** (idle / _RETRY_DECAY_HALFLIFE_S)
+                self._last_wave_at = now
         backlog = len(self._queue) + 1
         estimate = self._ewma_wave_s * backlog / self._max_in_flight
         return float(

@@ -46,6 +46,7 @@ import threading
 
 import numpy as np
 
+from repro import kernels
 from repro.api.model import ClusterModel
 from repro.api.specs import ServeSpec
 from repro.engine.backends import resolve_backend
@@ -575,6 +576,7 @@ class ModelServer:
             },
             "serving": {
                 "backend": self.spec.backend,
+                "kernels": kernels.active_backend(),
                 "n_jobs": int(self._backend.n_jobs),
                 "allow_extend": self.spec.allow_extend,
                 "pool_open": self._pool is not None and not self._pool.closed,

@@ -1,0 +1,230 @@
+"""Compiled-vs-NumPy kernel conformance: bit-identical, always.
+
+Every backend of :mod:`repro.kernels` must produce byte-for-byte the
+same signatures and count tensors.  Hypothesis drives random ragged
+token sets and labelled batches through the pure-NumPy implementation,
+the loop-form reference oracle and (when the toolchain allows) the
+compiled C backend, and asserts exact agreement — including empty
+batches, empty rows, non-contiguous and narrower-dtype inputs.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import _numpy as numpy_impl
+from repro.kernels._cbuild import KernelBuildError, load_compiled
+from repro.kernels._reference import reference_count_update, reference_minhash
+
+P31 = (1 << 31) - 1
+
+_HAVE_CC = shutil.which("cc") is not None
+
+
+def _c_impl_or_none():
+    if not _HAVE_CC:
+        return None
+    try:
+        library = load_compiled()
+    except KernelBuildError:  # pragma: no cover - toolchain present but broken
+        return None
+    from repro.kernels._cbuild import c_count_update, c_minhash_signatures
+
+    return library, c_minhash_signatures, c_count_update
+
+
+_C = _c_impl_or_none()
+
+
+@st.composite
+def ragged_token_sets(draw):
+    """A random CSR token collection with empty rows sprinkled in."""
+    n_rows = draw(st.integers(min_value=0, max_value=12))
+    lengths = [
+        draw(st.integers(min_value=0, max_value=9)) for _ in range(n_rows)
+    ]
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    indices = np.array(
+        [
+            draw(st.integers(min_value=0, max_value=P31 - 1))
+            for _ in range(int(indptr[-1]))
+        ],
+        dtype=np.int64,
+    )
+    n_hashes = draw(st.integers(min_value=1, max_value=24))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    a = rng.integers(1, P31, size=n_hashes, dtype=np.int64)
+    b = rng.integers(0, P31, size=n_hashes, dtype=np.int64)
+    return indices, indptr, a, b
+
+
+class TestMinhashConformance:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=ragged_token_sets())
+    def test_numpy_matches_reference_loops(self, case):
+        indices, indptr, a, b = case
+        vectorised = numpy_impl.minhash_signatures(indices, indptr, a, b, P31)
+        looped = reference_minhash(indices, indptr, a, b, P31)
+        assert vectorised.dtype == np.int64
+        assert np.array_equal(vectorised, looped)
+
+    @pytest.mark.skipif(_C is None, reason="no C toolchain available")
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=ragged_token_sets())
+    def test_compiled_matches_numpy(self, case):
+        indices, indptr, a, b = case
+        library, c_minhash, _ = _C
+        compiled = c_minhash(library, indices, indptr, a, b, P31)
+        vectorised = numpy_impl.minhash_signatures(indices, indptr, a, b, P31)
+        assert compiled.dtype == np.int64
+        assert np.array_equal(compiled, vectorised)
+
+    def test_empty_batch_and_all_empty_rows(self):
+        a = np.array([7, 11], dtype=np.int64)
+        b = np.array([1, 2], dtype=np.int64)
+        none = np.array([], dtype=np.int64)
+        for indptr in (
+            np.array([0], dtype=np.int64),  # zero rows
+            np.array([0, 0, 0], dtype=np.int64),  # two empty rows
+        ):
+            expected = numpy_impl.minhash_signatures(none, indptr, a, b, P31)
+            assert (expected == P31).all()
+            assert np.array_equal(
+                reference_minhash(none, indptr, a, b, P31), expected
+            )
+            if _C is not None:
+                library, c_minhash, _ = _C
+                assert np.array_equal(
+                    c_minhash(library, none, indptr, a, b, P31), expected
+                )
+
+    def test_narrow_dtype_and_non_contiguous_inputs(self):
+        # The public wrapper normalises dtype/layout before dispatch.
+        from repro import kernels
+
+        indices32 = np.array([5, 9, 3, 12, 800], dtype=np.int32)
+        indptr32 = np.array([0, 2, 2, 5], dtype=np.int32)
+        a = np.array([3, 5, 7], dtype=np.int64)
+        b = np.array([0, 1, 2], dtype=np.int64)
+        strided = np.arange(10, dtype=np.int64)[::2]  # non-contiguous view
+        expected = numpy_impl.minhash_signatures(
+            np.ascontiguousarray(strided),
+            np.array([0, 2, 5], dtype=np.int64),
+            a,
+            b,
+            P31,
+        )
+        assert np.array_equal(
+            kernels.minhash_signatures(
+                strided, np.array([0, 2, 5], dtype=np.int64), a, b, P31
+            ),
+            expected,
+        )
+        assert np.array_equal(
+            kernels.minhash_signatures(indices32, indptr32, a, b, P31),
+            numpy_impl.minhash_signatures(
+                indices32.astype(np.int64), indptr32.astype(np.int64), a, b, P31
+            ),
+        )
+
+
+@st.composite
+def count_batches(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=5))
+    capacity = draw(st.integers(min_value=1, max_value=9))
+    n_rows = draw(st.integers(min_value=0, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    dense = rng.integers(0, 50, size=(k, m, capacity)).astype(np.int64)
+    values = rng.integers(0, capacity, size=(n_rows, m), dtype=np.int64)
+    labels = rng.integers(0, k, size=n_rows, dtype=np.int64)
+    return dense, values, labels
+
+
+class TestCountUpdateConformance:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=count_batches())
+    def test_numpy_matches_reference_loops(self, case):
+        dense, values, labels = case
+        dense_vec, dense_loop = dense.copy(), dense.copy()
+        vectorised = numpy_impl.count_update(dense_vec, values, labels)
+        looped = reference_count_update(dense_loop, values, labels)
+        assert np.array_equal(dense_vec, dense_loop)
+        assert np.array_equal(vectorised, looped)
+
+    @pytest.mark.skipif(_C is None, reason="no C toolchain available")
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(case=count_batches())
+    def test_compiled_matches_numpy(self, case):
+        dense, values, labels = case
+        library, _, c_counts = _C
+        dense_c, dense_vec = dense.copy(), dense.copy()
+        compiled = c_counts(library, dense_c, values, labels)
+        vectorised = numpy_impl.count_update(dense_vec, values, labels)
+        assert np.array_equal(dense_c, dense_vec)
+        assert np.array_equal(compiled, vectorised)
+
+    def test_duplicate_triples_all_read_final_count(self):
+        # The incremental-argmax contract: every occurrence of a triple
+        # reports the count *after* the whole batch landed.
+        from repro import kernels
+
+        dense = np.zeros((2, 1, 3), dtype=np.int64)
+        values = np.array([[1], [1], [1]], dtype=np.int64)
+        labels = np.array([0, 0, 0], dtype=np.int64)
+        new_counts = kernels.count_update(dense, values, labels)
+        assert new_counts.tolist() == [[3], [3], [3]]
+        assert dense[0, 0, 1] == 3
+
+    def test_empty_batch_is_a_no_op(self):
+        from repro import kernels
+
+        dense = np.arange(12, dtype=np.int64).reshape(2, 2, 3)
+        before = dense.copy()
+        out = kernels.count_update(
+            dense,
+            np.empty((0, 2), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert out.shape == (0, 2)
+        assert np.array_equal(dense, before)
+
+    def test_fortran_ordered_values_are_normalised(self):
+        from repro import kernels
+
+        dense_a = np.zeros((3, 2, 4), dtype=np.int64)
+        dense_b = dense_a.copy()
+        values = np.asfortranarray(
+            np.array([[1, 3], [0, 2], [1, 3]], dtype=np.int64)
+        )
+        labels = np.array([2, 0, 2], dtype=np.int64)
+        got = kernels.count_update(dense_a, values, labels)
+        expected = numpy_impl.count_update(
+            dense_b, np.ascontiguousarray(values), labels
+        )
+        assert np.array_equal(got, expected)
+        assert np.array_equal(dense_a, dense_b)

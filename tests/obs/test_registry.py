@@ -101,6 +101,49 @@ class TestHistogram:
         with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
             histogram.quantile(1.5)
 
+    def test_quantile_first_bucket_spans_from_zero(self):
+        # A coarse positive first bound interpolates over [0, bound] —
+        # the true span for non-negative observations — not a point.
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(4.0, 8.0)
+        )
+        for _ in range(4):
+            histogram.observe(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_non_positive_first_bound_never_overshoots(self):
+        # Regression: with a non-positive first bound, interpolating
+        # from 0.0 reported values *above* the bucket's upper bound.
+        histogram = MetricsRegistry().histogram(
+            "repro_delta", buckets=(-1.0, 1.0)
+        )
+        for _ in range(10):
+            histogram.observe(-5.0)  # all mass at or below -1.0
+        assert histogram.quantile(0.5) == pytest.approx(-1.0)
+        assert histogram.quantile(0.95) <= -1.0
+
+    def test_quantile_rank_exactly_on_bucket_boundary(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0):
+            histogram.observe(value)
+        # rank 3 lands exactly on the (1, 2] bucket's cumulative edge.
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        # rank exactly exhausting a bucket returns its upper bound.
+        assert histogram.quantile(2 / 6) == pytest.approx(1.0)
+
+    def test_quantile_all_mass_in_inf_tail_clamps(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(1.0, 2.0)
+        )
+        for _ in range(3):
+            histogram.observe(100.0)
+        assert histogram.quantile(0.0) == pytest.approx(2.0)
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
 
 class TestRegistrySemantics:
     def test_factories_are_idempotent(self):

@@ -107,6 +107,45 @@ def test_extend_bit_identical_to_push_loop(case):
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(case=stream_cases())
+def test_all_absent_rows_extend_bit_identical(case):
+    """Rows where every cell is ``absent_code`` (empty token sets) take
+    the fallback path identically through push() and extend()."""
+    n, m, domain, k, bands, rows, seed, interval, chunk, backend = case
+    rng = np.random.default_rng(seed)
+    absent = int(rng.integers(0, domain))
+    X = rng.integers(0, domain, size=(n, m))
+    split = max(k, n // 2)
+    X[rng.integers(0, split)] = absent  # an all-absent bootstrap row
+    arrivals = X[split:]
+    arrivals[rng.integers(0, len(arrivals))] = absent
+    arrivals[0] = absent  # and one at a chunk boundary
+    kwargs = dict(
+        n_clusters=k,
+        lsh=LSHSpec(bands=bands, rows=rows, seed=seed),
+        train=TrainSpec(max_iter=4),
+        domain_size=domain,
+        refresh_interval=interval,
+        absent_code=absent,
+    )
+    reference = StreamingMHKModes(**kwargs).bootstrap(X[:split])
+    stream = StreamSpec(backend=backend, n_jobs=2, chunk_items=chunk)
+    candidate = StreamingMHKModes(stream=stream, **kwargs).bootstrap(X[:split])
+    with candidate:
+        pushed = np.array(
+            [reference.push(row) for row in arrivals], dtype=np.int64
+        )
+        extended = candidate.extend(arrivals)
+        assert np.array_equal(pushed, extended)
+        _assert_streams_equal(reference, candidate)
+    assert live_pool_count() == 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=stream_cases())
 def test_extend_chunk_boundaries_do_not_leak(case):
     """Splitting one batch into several extend() calls changes nothing."""
     n, m, domain, k, bands, rows, seed, interval, chunk, _ = case

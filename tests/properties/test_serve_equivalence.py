@@ -73,6 +73,41 @@ def test_served_labels_bit_identical_for_random_specs(case):
         assert empty.shape == (0,) and empty.dtype == np.int64
 
 
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=serving_cases())
+def test_all_absent_rows_serve_bit_identical(case):
+    """Rows where every cell is ``absent_code`` (empty token sets) get
+    the same label from the estimator, the artifact and the server."""
+    n, m, domain, k, bands, rows, seed, chunk, backend = case
+    rng = np.random.default_rng(seed)
+    absent = int(rng.integers(0, domain))
+    X_train = rng.integers(0, domain, size=(n, m))
+    X_train[rng.integers(0, n)] = absent  # an all-absent training row
+    X_novel = rng.integers(0, domain, size=(n // 2 + 1, m))
+    X_novel[0] = absent
+    X_novel[-1] = absent
+    estimator = MHKModes(
+        n_clusters=k,
+        lsh={"bands": bands, "rows": rows, "seed": seed},
+        train={"max_iter": 5},
+        domain_size=domain,
+        absent_code=absent,
+    ).fit(X_train)
+    model = estimator.fitted_model()
+    spec = ServeSpec(
+        backend=backend, n_jobs=2, chunk_items=chunk, max_batch=max(n, 64)
+    )
+    with ModelServer(model, spec) as server:
+        for X in (X_train, X_novel):
+            reference = model.predict(X)
+            assert np.array_equal(reference, estimator.predict(X))
+            assert np.array_equal(server.predict(X), reference)
+
+
 @pytest.fixture(scope="module")
 def fixed_workload():
     data = RuleBasedGenerator(

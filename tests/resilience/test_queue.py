@@ -168,6 +168,47 @@ class TestBackpressure:
         finally:
             queue.close()
 
+    def test_retry_after_decays_toward_seed_once_drained(self):
+        # Regression: the wave-latency EWMA only moves when waves
+        # complete, so after a slow burst the hint used to stay pinned
+        # at the congested estimate no matter how long the server sat
+        # idle.  With the injectable clock we fake a burst of 20s waves,
+        # then let simulated idle time pass and assert the hint shrinks
+        # back toward the 0.1s seed.
+        now = {"t": 0.0}
+
+        def execute(X):
+            now["t"] += 20.0  # every wave "takes" 20 simulated seconds
+            return _first_column(X)
+
+        queue = AdmissionQueue(
+            execute,
+            max_queue_depth=4,
+            max_in_flight=1,
+            max_wave_rows=8,
+            clock=lambda: now["t"],
+        )
+        try:
+            for _ in range(5):
+                queue.submit(_matrix(1))
+            deadline = time.monotonic() + 5.0
+            while queue._busy:  # let the last dispatcher wave retire
+                assert time.monotonic() < deadline
+                time.sleep(0.002)
+            congested = queue.retry_after_s()
+            assert congested > 1.0  # the burst pushed the hint up
+            hints = []
+            for _ in range(4):
+                now["t"] += 30.0
+                hints.append(queue.retry_after_s())
+            previous = congested
+            for hint in hints:
+                assert hint < previous  # monotone shrink while idle
+                previous = hint
+            assert hints[-1] == pytest.approx(0.1, abs=0.02)
+        finally:
+            queue.close()
+
 
 class TestDeadlines:
     def test_deadline_expires_while_wave_is_stuck(self):
